@@ -1,0 +1,76 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Two ablations complement the paper's figures:
+
+* frequency-step ablation — how the collision-free yield of the 20-qubit
+  chiplet responds to the ideal detuning step (the paper fixes 0.06 GHz
+  after the Fig. 4 sweep);
+* collision-threshold ablation — how sensitive yield is to the Table I
+  windows (tighter CR requirements shrink the windows, looser ones grow
+  them), quantifying how much of the scaling wall is due to the criteria
+  themselves rather than to fabrication precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweeps import sweep_parameter
+from repro.core.chiplet import ChipletDesign
+from repro.core.collisions import CollisionThresholds
+from repro.core.fabrication import FabricationModel
+from repro.core.frequencies import FrequencySpec, allocate_heavy_hex_frequencies
+from repro.core.yield_model import simulate_yield
+
+
+def _chiplet_yield_for_step(step: float) -> float:
+    design = ChipletDesign.build(20, spec=FrequencySpec(step_ghz=step))
+    rng = np.random.default_rng(17)
+    return simulate_yield(
+        design.allocation, FabricationModel(0.014), 1500, rng
+    ).collision_free_yield
+
+
+def test_ablation_frequency_step(benchmark):
+    """Yield peaks near the paper's 0.06 GHz detuning step."""
+    steps = (0.03, 0.04, 0.05, 0.06, 0.07, 0.08)
+    results = benchmark.pedantic(
+        sweep_parameter, args=(steps, _chiplet_yield_for_step), rounds=1, iterations=1
+    )
+    print("\n[Ablation] 20-qubit chiplet yield vs. ideal detuning step")
+    print(format_table(["step (GHz)", "yield"], [[s, f"{y:.3f}"] for s, y in results]))
+    yields = dict(results)
+    assert max(yields, key=yields.get) in (0.05, 0.06, 0.07)
+    assert yields[0.06] > yields[0.03]
+
+
+def _yield_for_threshold_scale(scale: float) -> float:
+    thresholds = CollisionThresholds(
+        type1_ghz=0.017 * scale,
+        type2_ghz=0.004 * scale,
+        type3_ghz=0.030 * scale,
+        type5_ghz=0.017 * scale,
+        type6_ghz=0.025 * scale,
+        type7_ghz=0.017 * scale,
+    )
+    lattice_allocation = allocate_heavy_hex_frequencies(
+        ChipletDesign.build(60).lattice
+    )
+    rng = np.random.default_rng(23)
+    return simulate_yield(
+        lattice_allocation, FabricationModel(0.014), 1200, rng, thresholds=thresholds
+    ).collision_free_yield
+
+
+def test_ablation_collision_thresholds(benchmark):
+    """Yield falls monotonically as the collision windows widen."""
+    scales = (0.5, 1.0, 1.5, 2.0)
+    results = benchmark.pedantic(
+        sweep_parameter, args=(scales, _yield_for_threshold_scale), rounds=1, iterations=1
+    )
+    print("\n[Ablation] 60-qubit chiplet yield vs. collision-window scale")
+    print(format_table(["window scale", "yield"], [[s, f"{y:.3f}"] for s, y in results]))
+    yields = [y for _, y in results]
+    assert yields == sorted(yields, reverse=True)
+    assert yields[0] > yields[-1]

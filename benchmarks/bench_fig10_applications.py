@@ -1,0 +1,58 @@
+"""E-F10 — Fig. 10: application-level fidelity, MCM vs. monolithic.
+
+Compiles the seven-benchmark suite (sized at 80 % device utilisation) onto
+the best assembled MCM and onto a representative collision-free monolithic
+device of the same size, then compares the two-qubit-gate fidelity products.
+Monolithic sizes with zero collision-free yield appear as ``inf`` ratios —
+the red-X points of the paper's figure, where the MCM is the only option.
+
+The default run covers the square systems of Fig. 10(b); set
+``REPRO_BENCH_FULL=1`` for the full 102-configuration sweep of Fig. 10(a).
+"""
+
+from __future__ import annotations
+
+from math import inf
+
+from conftest import full_run
+
+from repro.analysis.experiments import run_fig10_applications
+from repro.circuits.benchmarks import BENCHMARK_NAMES
+
+
+def test_fig10_application_fidelity_ratios(benchmark, study, application_chiplet_sizes):
+    """Selected modular systems achieve benchmark-fidelity parity or better."""
+    result = benchmark.pedantic(
+        run_fig10_applications,
+        kwargs={
+            "study": study,
+            "chiplet_sizes": application_chiplet_sizes,
+            "square_only": not full_run(),
+            "benchmarks": BENCHMARK_NAMES,
+            "utilisation": 0.8,
+            "seed": 5,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Fig. 10] MCM / monolithic benchmark-fidelity ratios (80% utilisation)")
+    print(result.format_table())
+
+    assert result.rows, "the sweep must produce at least one comparison"
+    # Every benchmark was compiled on every system.
+    benchmarks_seen = {row["benchmark"] for row in result.rows}
+    assert benchmarks_seen == set(BENCHMARK_NAMES)
+
+    # Zero-yield monolithic counterparts appear as infinite ratios: there the
+    # MCM is the only way to run the workload at all.
+    zero_yield = [r for r in result.rows if r["mono_log10_fidelity"] is None]
+    assert all(r["ratio"] == inf for r in zero_yield)
+
+    # Among systems where both architectures exist, the MCM wins a meaningful
+    # share of the comparisons (the paper highlights the 40/60/90-qubit
+    # chiplet square systems).
+    finite = [r for r in result.rows if r["mono_log10_fidelity"] is not None]
+    if finite:
+        wins = sum(1 for r in finite if r["ratio"] >= 1.0)
+        print(f"\nMCM advantage in {wins}/{len(finite)} finite comparisons")
+        assert wins >= 1

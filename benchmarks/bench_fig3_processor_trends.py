@@ -1,0 +1,25 @@
+"""E-F3 — Fig. 3(b): CX infidelity vs. processor size over 15 calibration cycles.
+
+The synthetic calibration generator stands in for the IBM backend data (see
+DESIGN.md); the regenerated statistic is the growth of the median CX error
+and of its spread from the 27-qubit Falcon to the 127-qubit Eagle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig3_processor_trends
+
+
+def test_fig3_cx_infidelity_vs_processor_size(benchmark):
+    """Median CX infidelity and its spread grow with processor size."""
+    result = benchmark(run_fig3_processor_trends, num_cycles=15, seed=11)
+    print("\n[Fig. 3b] CX infidelity statistics per processor (15 cycles)")
+    print(result.format_table())
+
+    medians = [row["median"] for row in result.rows]
+    iqrs = [row["iqr"] for row in result.rows]
+    assert medians == sorted(medians), "median error must grow with device size"
+    assert iqrs[0] < iqrs[-1], "error spread must grow with device size"
+    # The 127-qubit device reproduces the published Washington statistics.
+    washington = result.rows[-1]
+    assert abs(washington["median"] - 0.012) < 0.003

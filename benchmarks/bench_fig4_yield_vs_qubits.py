@@ -1,0 +1,45 @@
+"""E-F4 — Fig. 4: collision-free yield vs. qubits.
+
+Sweeps the ideal detuning step (0.04-0.07 GHz) and the fabrication
+precision (as-fabricated, laser-tuned, projected) over heavy-hex devices up
+to ~1000 qubits and prints one yield curve per parameter combination.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_batch_size, full_run
+
+from repro.analysis.experiments import run_fig4_yield_sweep
+
+
+def test_fig4_yield_vs_qubits_sweep(benchmark):
+    """Yield collapses with size; 0.06 GHz detuning and tighter sigma_f help."""
+    sizes = (
+        (5, 10, 16, 20, 27, 40, 65, 100, 127, 200, 300, 400, 500, 650, 800, 1000)
+        if full_run()
+        else (5, 10, 20, 40, 65, 100, 200, 300, 500, 750, 1000)
+    )
+    result = benchmark.pedantic(
+        run_fig4_yield_sweep,
+        kwargs={
+            "sizes": sizes,
+            "batch_size": min(bench_batch_size(1000), 2000),
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Fig. 4] collision-free yield vs. qubits (rows: step / sigma_f)")
+    print(result.format_table())
+
+    # Laser tuning dominates the as-fabricated precision at every step.
+    for step in (0.04, 0.05, 0.06, 0.07):
+        tuned = sum(result.curves[(step, 0.014)])
+        raw = sum(result.curves[(step, 0.1323)])
+        assert tuned > raw
+    # The paper's optimum detuning (0.06 GHz) maximises yield at sigma = 0.014.
+    assert result.best_step(0.014) in (0.05, 0.06)
+    # sigma_f = 0.006 GHz sustains non-zero yield out to ~1000 qubits.
+    assert result.curves[(0.06, 0.006)][-1] > 0.0
+    # The laser-tuned curve is essentially dead well before 1000 qubits.
+    assert result.curves[(0.06, 0.014)][-1] < 0.01

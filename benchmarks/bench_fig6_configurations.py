@@ -1,0 +1,31 @@
+"""E-F6 — Fig. 6: MCM configuration count and assembled-module bound vs. size.
+
+Uses the measured collision-free yield of the 20-qubit chiplet at the
+state-of-the-art precision (the paper quotes ~69.4 %) and a batch of 10^5
+dies, then reports, for every square MCM dimension, the (log10) number of
+possible chiplet placements and the maximum number of assembled modules.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig6_configurations
+from repro.analysis.reporting import format_table
+
+
+def test_fig6_configurations_vs_mcm_size(benchmark):
+    """Placements grow factorially while the assembled-module bound shrinks."""
+    points = benchmark(run_fig6_configurations, batch_size=100_000, max_grid=7, seed=7)
+
+    rows = [
+        [f"{p.grid[0]}x{p.grid[1]}", p.mcm_qubits, f"{p.log10_configurations:.1f}", p.max_mcms]
+        for p in points
+    ]
+    print("\n[Fig. 6] configurations (log10) and max assembled MCMs vs. MCM size")
+    print(format_table(["grid", "qubits", "log10(configurations)", "max MCMs"], rows))
+
+    log_configs = [p.log10_configurations for p in points]
+    max_mcms = [p.max_mcms for p in points]
+    assert log_configs == sorted(log_configs)
+    assert max_mcms == sorted(max_mcms, reverse=True)
+    # With ~69 000 good dies even the largest module count stays above 1000.
+    assert max_mcms[-1] > 500

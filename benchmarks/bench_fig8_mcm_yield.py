@@ -1,0 +1,49 @@
+"""E-F8 — Fig. 8: yield vs. qubits for monolithic and MCM architectures.
+
+Fabricates chiplet batches, assembles every MCM configuration (102 in the
+full run), applies assembly/bump-bond losses (including the 100x failure
+sensitivity study), and compares against monolithic Monte-Carlo yields.
+The paper's headline numbers are 9.6-92.6x average yield improvements for
+<~500-qubit machines.
+"""
+
+from __future__ import annotations
+
+from math import inf
+
+from repro.analysis.experiments import run_fig8_yield_comparison
+from repro.analysis.reporting import format_series
+
+
+def test_fig8_yield_monolithic_vs_mcm(benchmark, study):
+    """MCMs preserve high yield at sizes where monoliths drop to ~zero."""
+    result = benchmark.pedantic(
+        run_fig8_yield_comparison, args=(study,), rounds=1, iterations=1
+    )
+
+    print("\n[Fig. 8a] monolithic yield vs. qubits")
+    print(format_series("monolithic", [(n, f"{y:.4f}") for n, y in result.monolithic]))
+    for chiplet_size, series in sorted(result.mcm_series.items()):
+        printable = [(n, f"{y:.4f} (100x link-fail: {y100:.4f})") for n, y, y100 in series]
+        print(format_series(f"MCM, {chiplet_size}-qubit chiplets", printable))
+    print("\n[Fig. 8b] chiplet yields and average yield improvements")
+    print(result.format_table())
+
+    # Monolithic yield collapses with size (paper: ~10 % at 120 qubits,
+    # essentially zero beyond ~400 qubits).
+    mono = dict(result.monolithic)
+    assert mono[min(mono)] > mono[max(mono)]
+    large_sizes = [n for n in mono if n >= 400]
+    assert all(mono[n] < 0.02 for n in large_sizes)
+
+    # Chiplet yields decrease with chiplet size (Fig. 8b).
+    chiplet_yields = [result.chiplet_yields[s] for s in sorted(result.chiplet_yields)]
+    assert chiplet_yields == sorted(chiplet_yields, reverse=True)
+
+    # Average yield improvement per chiplet group is large and grows into the
+    # tens, matching the paper's 9.6-92.6x range (infinite groups appear when
+    # every monolithic counterpart had zero yield).
+    finite = [v for v in result.yield_improvements.values() if v != inf]
+    assert finite, "at least one chiplet group must have a finite improvement"
+    assert min(finite) > 3.0
+    assert max(finite) > 20.0

@@ -1,0 +1,51 @@
+"""E-F9 — Fig. 9: E_avg,MCM / E_avg,Mono heat-maps for square MCMs.
+
+Compares the average two-qubit infidelity of assembled square MCMs (using
+the scaled collision-free bin, i.e. as many best modules as there are
+collision-free monoliths) against monolithic devices of the same size under
+four link-quality scenarios: the state of the art (e_link/e_chip ~ 4.17)
+and improved links with ratios 3, 2 and 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import run_fig9_infidelity_heatmap
+
+
+def test_fig9_average_infidelity_heatmaps(benchmark, study):
+    """Carefully-selected MCMs reach lower E_avg; better links help further."""
+    result = benchmark.pedantic(
+        run_fig9_infidelity_heatmap, args=(study,), rounds=1, iterations=1
+    )
+
+    for scenario in ("state-of-art", "elink=3echip", "elink=2echip", "elink=1echip"):
+        print(f"\n[Fig. 9] E_avg,MCM / E_avg,Mono — scenario: {scenario}")
+        print(result.format_table(scenario))
+        print(
+            f"  fraction of cells with MCM advantage: "
+            f"{result.fraction_below_one(scenario):.2f}; "
+            f"best ratio: {result.best_ratio(scenario):.3f}"
+        )
+
+    # The best state-of-the-art ratio is well below one (paper: ~0.815).
+    assert result.best_ratio("state-of-art") < 0.95
+    # Improving the link error monotonically increases the MCM-win fraction.
+    fractions = [
+        result.fraction_below_one(s)
+        for s in ("state-of-art", "elink=3echip", "elink=2echip", "elink=1echip")
+    ]
+    assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))
+    # With links as good as on-chip couplings the MCM wins (almost) everywhere.
+    assert fractions[-1] > 0.85
+
+    # Mid-sized chiplets (20-90 qubits) show an advantage at state of the art.
+    soa = [
+        c
+        for c in result.cells
+        if c["scenario"] == "state-of-art"
+        and c["chiplet_size"] in (20, 40, 60, 90)
+        and np.isfinite(c["ratio"])
+    ]
+    assert any(c["ratio"] < 1.0 for c in soa)

@@ -1,0 +1,31 @@
+"""E-VC — Section V-C: monolithic vs. MCM fabrication output (Eq. 1).
+
+Reproduces the worked example: a 100-qubit monolith vs. 2x5 MCMs of
+10-qubit chiplets from the same wafer budget, for which the paper reports a
+~7.7x gain in manufactured collision-free machines.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_batch_size
+
+from repro.analysis.experiments import run_sec5c_fabrication_output
+
+
+def test_sec5c_fabrication_output_gain(benchmark):
+    """The MCM route manufactures several times more 100-qubit machines."""
+    comparison = benchmark.pedantic(
+        run_sec5c_fabrication_output,
+        kwargs={"batch_size": min(bench_batch_size(1000), 4000), "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        "\n[Sec. V-C] monolithic devices: "
+        f"{comparison.monolithic_devices:.0f} (yield {comparison.monolithic_yield:.3f}), "
+        f"MCM upper bound: {comparison.mcm_devices:.0f} "
+        f"(chiplet yield {comparison.chiplet_yield:.3f}), "
+        f"gain: {comparison.gain:.2f}x (paper: ~7.7x)"
+    )
+    assert comparison.gain > 4.0
+    assert comparison.mcm_devices > comparison.monolithic_devices

@@ -1,0 +1,38 @@
+"""E-T2 — Table II: compiled-benchmark gate counts on 2x2 MCM systems.
+
+Compiles the seven benchmarks (80 % utilisation) onto 2x2 MCMs built from
+10/20/40/60/90-qubit chiplets and reports the single-qubit count, the
+two-qubit count and the two-qubit critical path for each, mirroring the
+paper's Table II.
+"""
+
+from __future__ import annotations
+
+from conftest import full_run
+
+from repro.analysis.experiments import run_table2_compiled_benchmarks
+
+
+def test_table2_compiled_benchmark_details(benchmark):
+    """Gate counts grow with system size; routing dominates large systems."""
+    chiplet_sizes = (10, 20, 40, 60, 90) if full_run() else (10, 20, 40)
+    result = benchmark.pedantic(
+        run_table2_compiled_benchmarks,
+        kwargs={"chiplet_sizes": chiplet_sizes, "utilisation": 0.8, "seed": 5},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Table II] compiled benchmark details (2x2 MCMs, 80% utilisation)")
+    print(result.format_table())
+
+    # Two-qubit counts for a given benchmark grow with the system size.
+    for name in ("bv", "adder", "primacy"):
+        counts = [
+            row["num_two_qubit"]
+            for row in result.rows
+            if row["benchmark"] == name
+        ]
+        assert counts == sorted(counts)
+    # The critical path never exceeds the two-qubit gate count.
+    for row in result.rows:
+        assert 0 < row["two_qubit_critical_path"] <= row["num_two_qubit"]

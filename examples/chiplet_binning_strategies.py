@@ -1,0 +1,78 @@
+"""Known-good-die binning strategies for MCM assembly.
+
+The paper assembles MCMs from the *best* chiplets first ("speed binning").
+This example quantifies how much that choice matters by assembling the same
+batch of 20-qubit chiplets three ways — best-first, random, and worst-first
+— and comparing the average two-qubit error of the first few modules each
+strategy produces.
+
+Run with:  python examples/chiplet_binning_strategies.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.assembly import ChipletBin, assemble_mcms, fabricate_chiplet_bin
+from repro.core.chiplet import ChipletDesign
+from repro.core.fabrication import FabricationModel
+from repro.core.mcm import MCMDesign
+from repro.device.calibration import washington_cx_model
+from repro.device.noise import LinkErrorModel
+
+
+def _reordered(bin_: ChipletBin, strategy: str, rng: np.random.Generator) -> ChipletBin:
+    chiplets = list(bin_.chiplets)
+    if strategy == "random":
+        rng.shuffle(chiplets)
+    elif strategy == "worst-first":
+        chiplets = chiplets[::-1]
+    elif strategy != "best-first":
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return ChipletBin(design=bin_.design, chiplets=chiplets, batch_size=bin_.batch_size)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    design = ChipletDesign.build(20)
+    cx_model = washington_cx_model()
+    link_model = LinkErrorModel.from_mean_median()
+
+    bin_ = fabricate_chiplet_bin(design, FabricationModel(0.014), cx_model, 3000, rng)
+    mcm_design = MCMDesign.build(design, 2, 2)
+    print(
+        f"Fabricated {bin_.batch_size} chiplets, {bin_.num_collision_free} collision-free "
+        f"({bin_.collision_free_yield:.1%}); assembling 2x2 MCMs three ways.\n"
+    )
+
+    rows = []
+    for strategy in ("best-first", "random", "worst-first"):
+        reordered = _reordered(bin_, strategy, np.random.default_rng(3))
+        assembly = assemble_mcms(
+            reordered, mcm_design, link_model, np.random.default_rng(5), max_mcms=25
+        )
+        first_five = [m.average_error for m in assembly.mcms[:5]]
+        all_25 = [m.average_error for m in assembly.mcms]
+        rows.append(
+            [
+                strategy,
+                f"{np.mean(first_five):.4f}",
+                f"{np.mean(all_25):.4f}",
+                assembly.num_mcms,
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "E_avg of first 5 MCMs", "E_avg of first 25", "modules built"],
+            rows,
+        )
+    )
+    print(
+        "\nBest-first binning concentrates the lowest-error dies in the first modules —"
+        "\nthe mechanism behind the MCM advantage in the paper's Fig. 9 comparison."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+All project metadata lives in pyproject.toml; this file only enables legacy
+`pip install -e . --no-use-pep517` / `python setup.py develop` workflows.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment results.
+
+The reproduction does not depend on any plotting library; every "figure"
+benchmark prints the series the original figure plots, and these helpers
+keep that output aligned and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a left-aligned, space-padded text table.
+
+    Parameters
+    ----------
+    header:
+        Column titles.
+    rows:
+        Row values (converted with ``str``).
+    """
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(title)) for title in header]
+    for row in materialised:
+        if len(row) != len(header):
+            raise ValueError("row length does not match the header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(str(title).ljust(widths[i]) for i, title in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Iterable[tuple[object, object]]) -> str:
+    """Render an ``x -> y`` series with a title line."""
+    lines = [name]
+    for x, y in points:
+        lines.append(f"  {x}: {y}")
+    return "\n".join(lines)

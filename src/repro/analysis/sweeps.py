@@ -1,0 +1,43 @@
+"""Generic parameter-sweep helpers used by the ablation benchmarks."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = ["grid_sweep", "sweep_parameter"]
+
+
+def grid_sweep(
+    parameter_grid: Mapping[str, Sequence[object]],
+    runner: Callable[..., object],
+) -> list[dict]:
+    """Run ``runner`` for every combination of the parameter grid.
+
+    Parameters
+    ----------
+    parameter_grid:
+        Mapping from keyword-argument name to the values to sweep.
+    runner:
+        Callable invoked with one keyword argument per grid dimension.
+
+    Returns
+    -------
+    list of dict
+        One record per combination with the parameter values plus a
+        ``"result"`` key holding the runner's return value.
+    """
+    names = list(parameter_grid)
+    records = []
+    for values in product(*(parameter_grid[name] for name in names)):
+        kwargs = dict(zip(names, values))
+        records.append({**kwargs, "result": runner(**kwargs)})
+    return records
+
+
+def sweep_parameter(
+    values: Iterable[object],
+    runner: Callable[[object], object],
+) -> list[tuple[object, object]]:
+    """One-dimensional sweep returning ``(value, result)`` pairs."""
+    return [(value, runner(value)) for value in values]

@@ -1,0 +1,66 @@
+"""Cuccaro ripple-carry adder benchmark (paper Section VII-A).
+
+The in-place ripple-carry adder of Cuccaro, Draper, Kutin and Moulton adds
+two ``n``-bit registers using one carry-in and one carry-out ancilla
+(``2n + 2`` qubits total).  Each bit position applies a MAJ block on the way
+up and an UMA block on the way down; the Toffoli gates involved are emitted
+directly (the compiler decomposes them into CX + single-qubit gates).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["cuccaro_adder", "adder_register_size"]
+
+
+def adder_register_size(num_qubits: int) -> int:
+    """Largest register width ``n`` such that ``2n + 2 <= num_qubits``."""
+    if num_qubits < 4:
+        raise ValueError("the ripple-carry adder needs at least 4 qubits")
+    return (num_qubits - 2) // 2
+
+
+def _maj(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    circuit.ccx(c, b, a)
+
+
+def _uma(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def cuccaro_adder(num_qubits: int) -> QuantumCircuit:
+    """Build a Cuccaro ripple-carry adder fitting within ``num_qubits``.
+
+    The circuit uses ``2n + 2`` qubits where ``n`` is the largest register
+    width that fits; any remaining qubits are left idle.  Qubit layout:
+    ``[carry_in, a_0, b_0, a_1, b_1, ..., carry_out]``.
+    """
+    register = adder_register_size(num_qubits)
+    used = 2 * register + 2
+    circuit = QuantumCircuit(num_qubits=num_qubits, name="adder")
+
+    carry_in = 0
+    a_bits = [1 + 2 * i for i in range(register)]
+    b_bits = [2 + 2 * i for i in range(register)]
+    carry_out = used - 1
+
+    # Prepare a representative non-trivial input (|a> = |1...1>, |b> = |01...>).
+    for qubit in a_bits:
+        circuit.x(qubit)
+    for qubit in b_bits[::2]:
+        circuit.x(qubit)
+
+    previous = carry_in
+    for i in range(register):
+        _maj(circuit, previous, b_bits[i], a_bits[i])
+        previous = a_bits[i]
+    circuit.cx(a_bits[-1], carry_out)
+    for i in reversed(range(register)):
+        lower = carry_in if i == 0 else a_bits[i - 1]
+        _uma(circuit, lower, b_bits[i], a_bits[i])
+    return circuit

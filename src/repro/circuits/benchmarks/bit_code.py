@@ -1,0 +1,46 @@
+"""Bit-flip repetition-code syndrome-measurement benchmark.
+
+The circuit interleaves data and syndrome (ancilla) qubits of a distance-d
+repetition code and performs ``rounds`` rounds of parity extraction: each
+ancilla receives CX gates from its two neighbouring data qubits.  The local
+structure mirrors the error-correction workloads heavy-hex lattices are
+designed for.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["bit_code"]
+
+
+def bit_code(num_qubits: int, rounds: int = 1) -> QuantumCircuit:
+    """Build a repetition-code syndrome-extraction circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total width; the circuit uses the largest odd number of qubits that
+        fits (``d`` data qubits interleaved with ``d - 1`` ancillas).
+    rounds:
+        Number of syndrome-measurement rounds.
+    """
+    if num_qubits < 3:
+        raise ValueError("the bit code needs at least 3 qubits")
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+
+    used = num_qubits if num_qubits % 2 else num_qubits - 1
+    distance = (used + 1) // 2
+    data = [2 * i for i in range(distance)]
+    ancilla = [2 * i + 1 for i in range(distance - 1)]
+
+    circuit = QuantumCircuit(num_qubits=num_qubits, name="bitcode")
+    # Encode a representative logical |1>.
+    for qubit in data:
+        circuit.x(qubit)
+    for _ in range(rounds):
+        for index, anc in enumerate(ancilla):
+            circuit.cx(data[index], anc)
+            circuit.cx(data[index + 1], anc)
+    return circuit

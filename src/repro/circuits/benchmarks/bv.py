@@ -1,0 +1,62 @@
+"""Bernstein-Vazirani benchmark (paper Section VII-A).
+
+The algorithm recovers a hidden bit-string with a single oracle query.  On
+``n`` qubits the circuit uses ``n - 1`` data qubits plus one ancilla; every
+``1`` bit of the secret contributes one CX onto the ancilla, which is what
+makes the benchmark communication-heavy on sparse topologies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["bernstein_vazirani"]
+
+
+def bernstein_vazirani(
+    num_qubits: int,
+    secret: str | None = None,
+    seed: int | None = None,
+) -> QuantumCircuit:
+    """Build a Bernstein-Vazirani circuit on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total width including the ancilla (must be >= 2).
+    secret:
+        Hidden bit-string of length ``num_qubits - 1``.  Defaults to the
+        all-ones string, the worst case for communication.
+    seed:
+        When given (and ``secret`` is ``None``), draw a random secret.
+    """
+    if num_qubits < 2:
+        raise ValueError("Bernstein-Vazirani needs at least 2 qubits")
+    data = num_qubits - 1
+    if secret is None:
+        if seed is None:
+            secret = "1" * data
+        else:
+            rng = np.random.default_rng(seed)
+            secret = "".join(rng.choice(["0", "1"], size=data))
+    if len(secret) != data or set(secret) - {"0", "1"}:
+        raise ValueError(f"secret must be a {data}-bit string")
+
+    circuit = QuantumCircuit(num_qubits=num_qubits, name="bv")
+    ancilla = num_qubits - 1
+
+    for qubit in range(data):
+        circuit.h(qubit)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+
+    for qubit, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cx(qubit, ancilla)
+
+    for qubit in range(data):
+        circuit.h(qubit)
+    circuit.h(ancilla)
+    return circuit

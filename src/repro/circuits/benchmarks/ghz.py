@@ -1,0 +1,23 @@
+"""Greenberger-Horne-Zeilinger (GHZ) state preparation benchmark.
+
+A Hadamard followed by a chain of CX gates prepares the maximally-entangled
+``(|00...0> + |11...1>) / sqrt(2)`` state.  The linear entangling chain makes
+GHZ the most topology-friendly of the paper's benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["ghz"]
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """Build a GHZ-state preparation circuit on ``num_qubits`` qubits."""
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits=num_qubits, name="ghz")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit

@@ -1,0 +1,85 @@
+"""Quantum-primacy (random circuit sampling) benchmark.
+
+Random circuits of alternating single-qubit rotation layers and two-qubit
+entangling layers over a virtual 2D grid, in the style of the circuits used
+for quantum-supremacy / primacy demonstrations.  The entangling pattern
+cycles through the four grid directions so every qubit participates in
+two-qubit gates at a high rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["quantum_primacy"]
+
+_SINGLE_QUBIT_CHOICES = ("rx", "ry", "rz")
+
+
+def _grid_shape(num_qubits: int) -> tuple[int, int]:
+    rows = int(np.floor(np.sqrt(num_qubits)))
+    rows = max(rows, 1)
+    cols = int(np.ceil(num_qubits / rows))
+    return rows, cols
+
+
+def quantum_primacy(
+    num_qubits: int,
+    depth: int = 8,
+    seed: int | None = 0,
+) -> QuantumCircuit:
+    """Build a random quantum-primacy circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Circuit width (>= 2).
+    depth:
+        Number of (single-qubit layer, entangling layer) rounds.
+    seed:
+        Seed for the random gate choices.
+    """
+    if num_qubits < 2:
+        raise ValueError("quantum primacy circuits need at least 2 qubits")
+    if depth < 1:
+        raise ValueError("depth must be positive")
+
+    rng = np.random.default_rng(seed)
+    rows, cols = _grid_shape(num_qubits)
+    circuit = QuantumCircuit(num_qubits=num_qubits, name="primacy")
+
+    def qubit_at(r: int, c: int) -> int | None:
+        index = r * cols + c
+        return index if index < num_qubits else None
+
+    patterns = []
+    # Horizontal pairs, even then odd columns; vertical pairs, even then odd rows.
+    for parity in (0, 1):
+        pairs = []
+        for r in range(rows):
+            for c in range(parity, cols - 1, 2):
+                a, b = qubit_at(r, c), qubit_at(r, c + 1)
+                if a is not None and b is not None:
+                    pairs.append((a, b))
+        patterns.append(pairs)
+    for parity in (0, 1):
+        pairs = []
+        for r in range(parity, rows - 1, 2):
+            for c in range(cols):
+                a, b = qubit_at(r, c), qubit_at(r + 1, c)
+                if a is not None and b is not None:
+                    pairs.append((a, b))
+        patterns.append(pairs)
+    patterns = [p for p in patterns if p]
+
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(depth):
+        for qubit in range(num_qubits):
+            gate = str(rng.choice(_SINGLE_QUBIT_CHOICES))
+            circuit.add(gate, qubit, params=(float(rng.uniform(0, 2 * np.pi)),))
+        for a, b in patterns[layer % len(patterns)]:
+            circuit.cz(a, b)
+    return circuit

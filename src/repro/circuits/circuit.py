@@ -1,0 +1,205 @@
+"""A minimal, compiler-friendly quantum-circuit container.
+
+:class:`QuantumCircuit` is an ordered list of :class:`~repro.circuits.gates.Gate`
+applications on ``num_qubits`` virtual qubits, with convenience emitters for
+the common gates and the metrics the paper's Table II reports (one-qubit
+count, two-qubit count and the two-qubit critical path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.circuits.gates import Gate
+
+__all__ = ["QuantumCircuit"]
+
+
+@dataclass
+class QuantumCircuit:
+    """An ordered sequence of gates on ``num_qubits`` qubits.
+
+    Attributes
+    ----------
+    num_qubits:
+        Number of (virtual or physical) qubits addressed by the circuit.
+    name:
+        Optional identifier, e.g. the benchmark name.
+    gates:
+        Gate applications in program order.
+    """
+
+    num_qubits: int
+    name: str = "circuit"
+    gates: list[Gate] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ValueError("a circuit needs at least one qubit")
+        for gate in self.gates:
+            self._check_gate(gate)
+
+    # ------------------------------------------------------------------ #
+    # Gate emission
+    # ------------------------------------------------------------------ #
+    def _check_gate(self, gate: Gate) -> None:
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(
+                    f"gate {gate.name!r} addresses qubit {qubit} outside the "
+                    f"{self.num_qubits}-qubit register"
+                )
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a pre-built gate (validated against the register size)."""
+        self._check_gate(gate)
+        self.gates.append(gate)
+        return self
+
+    def add(self, name: str, *qubits: int, params: tuple[float, ...] = ()) -> "QuantumCircuit":
+        """Append a gate by name."""
+        return self.append(Gate(name=name, qubits=tuple(qubits), params=params))
+
+    def h(self, q: int) -> "QuantumCircuit":
+        """Hadamard gate."""
+        return self.add("h", q)
+
+    def x(self, q: int) -> "QuantumCircuit":
+        """Pauli-X gate."""
+        return self.add("x", q)
+
+    def y(self, q: int) -> "QuantumCircuit":
+        """Pauli-Y gate."""
+        return self.add("y", q)
+
+    def z(self, q: int) -> "QuantumCircuit":
+        """Pauli-Z gate."""
+        return self.add("z", q)
+
+    def s(self, q: int) -> "QuantumCircuit":
+        """Phase gate."""
+        return self.add("s", q)
+
+    def t(self, q: int) -> "QuantumCircuit":
+        """T gate."""
+        return self.add("t", q)
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        """Inverse T gate."""
+        return self.add("tdg", q)
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        """X-axis rotation."""
+        return self.add("rx", q, params=(float(theta),))
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        """Y-axis rotation."""
+        return self.add("ry", q, params=(float(theta),))
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        """Z-axis rotation."""
+        return self.add("rz", q, params=(float(theta),))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-NOT gate."""
+        return self.add("cx", control, target)
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Z gate."""
+        return self.add("cz", control, target)
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        """SWAP gate."""
+        return self.add("swap", a, b)
+
+    def rzz(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        """ZZ interaction rotation."""
+        return self.add("rzz", a, b, params=(float(theta),))
+
+    def ccx(self, control_a: int, control_b: int, target: int) -> "QuantumCircuit":
+        """Toffoli gate."""
+        return self.add("ccx", control_a, control_b, target)
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append a sequence of gates."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection and transformation
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Total gate count."""
+        return len(self.gates)
+
+    @property
+    def num_one_qubit_gates(self) -> int:
+        """Number of single-qubit gates."""
+        return sum(1 for g in self.gates if g.is_one_qubit)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates."""
+        return sum(1 for g in self.gates if g.is_two_qubit)
+
+    def count_ops(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def used_qubits(self) -> set[int]:
+        """Qubits touched by at least one gate."""
+        used: set[int] = set()
+        for gate in self.gates:
+            used.update(gate.qubits)
+        return used
+
+    def depth(self, two_qubit_only: bool = False) -> int:
+        """Circuit depth (longest dependency chain of gates).
+
+        With ``two_qubit_only`` the depth counts only two-or-more-qubit
+        gates, which is the "2q critical path" reported in the paper's
+        Table II.
+        """
+        frontier = [0] * self.num_qubits
+        for gate in self.gates:
+            counts = 0 if (two_qubit_only and gate.num_qubits < 2) else 1
+            level = max(frontier[q] for q in gate.qubits) + counts
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier) if frontier else 0
+
+    def interaction_graph(self) -> dict[int, set[int]]:
+        """Adjacency of the multi-qubit interaction graph."""
+        adjacency: dict[int, set[int]] = {q: set() for q in range(self.num_qubits)}
+        for gate in self.gates:
+            if gate.num_qubits < 2:
+                continue
+            for a in gate.qubits:
+                for b in gate.qubits:
+                    if a != b:
+                        adjacency[a].add(b)
+        return adjacency
+
+    def remapped(self, mapping: dict[int, int], num_qubits: int | None = None) -> "QuantumCircuit":
+        """Return a copy with every qubit ``q`` replaced by ``mapping[q]``."""
+        target_size = num_qubits if num_qubits is not None else self.num_qubits
+        remapped = QuantumCircuit(num_qubits=target_size, name=self.name)
+        for gate in self.gates:
+            remapped.append(gate.remapped(mapping))
+        return remapped
+
+    def copy(self) -> "QuantumCircuit":
+        """Shallow copy of the circuit (gates are immutable)."""
+        return QuantumCircuit(num_qubits=self.num_qubits, name=self.name, gates=list(self.gates))

@@ -1,0 +1,102 @@
+"""Gate primitives for the lightweight quantum-circuit IR.
+
+The evaluation pipeline only needs gate *accounting* (how many one- and
+two-qubit operations run on which physical couplings), plus enough unitary
+semantics for the small statevector simulator used in the test suite.  A
+gate is therefore an immutable ``(name, qubits, params)`` record; the known
+gate names and their arities live in :data:`GATE_ARITY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Gate", "GATE_ARITY", "ONE_QUBIT_GATES", "TWO_QUBIT_GATES", "THREE_QUBIT_GATES"]
+
+#: Supported gate names mapped to the number of qubits they act on.
+GATE_ARITY: dict[str, int] = {
+    # One-qubit gates.
+    "id": 1,
+    "h": 1,
+    "x": 1,
+    "y": 1,
+    "z": 1,
+    "s": 1,
+    "sdg": 1,
+    "t": 1,
+    "tdg": 1,
+    "sx": 1,
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    # Two-qubit gates.
+    "cx": 2,
+    "cz": 2,
+    "swap": 2,
+    "rzz": 2,
+    # Three-qubit gates (decomposed before routing).
+    "ccx": 3,
+}
+
+ONE_QUBIT_GATES = frozenset(name for name, arity in GATE_ARITY.items() if arity == 1)
+TWO_QUBIT_GATES = frozenset(name for name, arity in GATE_ARITY.items() if arity == 2)
+THREE_QUBIT_GATES = frozenset(name for name, arity in GATE_ARITY.items() if arity == 3)
+
+#: Gates whose single parameter is a rotation angle.
+_PARAMETRIC_GATES = frozenset({"rx", "ry", "rz", "rzz"})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One quantum gate application.
+
+    Attributes
+    ----------
+    name:
+        Lower-case gate name (must appear in :data:`GATE_ARITY`).
+    qubits:
+        Qubit indices the gate acts on, in application order (control first
+        for controlled gates).
+    params:
+        Rotation angles for parametric gates.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.name not in GATE_ARITY:
+            raise ValueError(f"unknown gate {self.name!r}")
+        expected = GATE_ARITY[self.name]
+        if len(self.qubits) != expected:
+            raise ValueError(
+                f"gate {self.name!r} expects {expected} qubits, got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name!r} applied to duplicate qubits {self.qubits}")
+        if self.name in _PARAMETRIC_GATES and len(self.params) != 1:
+            raise ValueError(f"gate {self.name!r} requires exactly one parameter")
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return len(self.qubits)
+
+    @property
+    def is_one_qubit(self) -> bool:
+        """True for single-qubit gates."""
+        return self.num_qubits == 1
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for two-qubit gates."""
+        return self.num_qubits == 2
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy acting on ``mapping[q]`` for every qubit ``q``."""
+        return Gate(
+            name=self.name,
+            qubits=tuple(mapping[q] for q in self.qubits),
+            params=self.params,
+        )

@@ -1,0 +1,22 @@
+"""Compiler substrate: decomposition, layout, routing, transpilation."""
+
+from repro.compiler.decompose import decompose_swaps, decompose_to_cx_basis
+from repro.compiler.layout import Layout, choose_layout, find_long_path, is_chain_circuit
+from repro.compiler.metrics import GateMetrics, gate_metrics
+from repro.compiler.routing import RoutedCircuit, route_circuit
+from repro.compiler.transpile import TranspiledCircuit, transpile
+
+__all__ = [
+    "decompose_swaps",
+    "decompose_to_cx_basis",
+    "Layout",
+    "choose_layout",
+    "find_long_path",
+    "is_chain_circuit",
+    "GateMetrics",
+    "gate_metrics",
+    "RoutedCircuit",
+    "route_circuit",
+    "TranspiledCircuit",
+    "transpile",
+]

@@ -1,0 +1,89 @@
+"""Gate-decomposition passes.
+
+Near-term transmon hardware natively supports single-qubit rotations and a
+single two-qubit entangling gate (CX, generated from the Cross-Resonance
+interaction).  Before routing, every higher-level gate is rewritten into
+that basis:
+
+* ``ccx`` (Toffoli) -> 6 CX plus single-qubit gates (standard textbook
+  decomposition),
+* ``swap`` -> 3 CX,
+* ``rzz`` -> CX - RZ - CX,
+* ``cz``  -> H - CX - H.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+__all__ = ["decompose_to_cx_basis", "decompose_swaps"]
+
+
+def _decompose_ccx(circuit: QuantumCircuit, a: int, b: int, target: int) -> None:
+    """Standard 6-CX Toffoli decomposition."""
+    circuit.h(target)
+    circuit.cx(b, target)
+    circuit.tdg(target)
+    circuit.cx(a, target)
+    circuit.t(target)
+    circuit.cx(b, target)
+    circuit.tdg(target)
+    circuit.cx(a, target)
+    circuit.t(b)
+    circuit.t(target)
+    circuit.h(target)
+    circuit.cx(a, b)
+    circuit.t(a)
+    circuit.tdg(b)
+    circuit.cx(a, b)
+
+
+def _decompose_swap(circuit: QuantumCircuit, a: int, b: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(b, a)
+    circuit.cx(a, b)
+
+
+def decompose_to_cx_basis(circuit: QuantumCircuit, keep_swaps: bool = False) -> QuantumCircuit:
+    """Rewrite a circuit into the {1-qubit, CX} basis.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to rewrite.
+    keep_swaps:
+        When ``True``, ``swap`` gates are passed through unchanged (useful
+        before routing, which treats them natively); otherwise they are
+        expanded into 3 CX.
+    """
+    result = QuantumCircuit(num_qubits=circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name == "ccx":
+            _decompose_ccx(result, *gate.qubits)
+        elif gate.name == "swap" and not keep_swaps:
+            _decompose_swap(result, *gate.qubits)
+        elif gate.name == "rzz":
+            a, b = gate.qubits
+            result.cx(a, b)
+            result.rz(gate.params[0], b)
+            result.cx(a, b)
+        elif gate.name == "cz":
+            a, b = gate.qubits
+            result.h(b)
+            result.cx(a, b)
+            result.h(b)
+        else:
+            result.append(gate)
+    return result
+
+
+def decompose_swaps(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Expand every ``swap`` into 3 CX, leaving other gates untouched."""
+    result = QuantumCircuit(num_qubits=circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name == "swap":
+            _decompose_swap(result, *gate.qubits)
+        else:
+            result.append(gate)
+    return result

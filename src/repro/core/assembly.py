@@ -1,0 +1,344 @@
+"""Known-good-die binning and MCM assembly (paper Sections V-D, VII-B).
+
+The assembly pipeline is:
+
+1. *Fabricate* a batch of chiplets (Monte-Carlo frequency sampling), keep
+   only the collision-free ones, and characterise each survivor's two-qubit
+   gate errors from the empirical detuning-binned model — this is the
+   known-good-die (KGD) step.
+2. *Sort* the collision-free bin by average error so the best chiplets are
+   consumed first ("speed binning").
+3. *Stitch* chiplets into MCMs greedily: take the next ``k*m`` chiplets,
+   test the assembled module for frequency collisions across the
+   inter-chip links, and reshuffle the placement (up to 100 permutations,
+   the paper's time-out) when a collision is found.  If no collision-free
+   placement exists the leading chiplet is set aside and assembly continues
+   with the next subset.
+4. *Account for assembly losses*: every linked qubit requires 25 C4 bump
+   bonds, each succeeding with probability ``s_l`` (silicon interposer
+   defect rates), so the post-assembly yield is the chiplet utilisation
+   scaled by ``(s_l ** 25) ** L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.chiplet import ChipletDesign
+from repro.core.collisions import CollisionThresholds, collision_free_mask
+from repro.core.fabrication import FabricationModel
+from repro.core.mcm import MCMDesign
+from repro.device.device import Device
+from repro.device.noise import EmpiricalCXModel, LinkErrorModel
+
+__all__ = [
+    "FabricatedChiplet",
+    "ChipletBin",
+    "AssembledMCM",
+    "AssemblyResult",
+    "fabricate_chiplet_bin",
+    "assemble_mcms",
+    "post_assembly_yield",
+    "bump_bond_success_probability",
+    "C4_BUMP_SUCCESS_PROBABILITY",
+    "BUMPS_PER_LINK_QUBIT",
+    "DEFAULT_MAX_RESHUFFLES",
+]
+
+#: Success probability of a single C4 bump bond on a passive interposer.
+C4_BUMP_SUCCESS_PROBABILITY = 0.99999960642
+
+#: Number of bump bonds required per inter-chip linked qubit.
+BUMPS_PER_LINK_QUBIT = 25
+
+#: Placement-reshuffle time-out used during MCM stitching.
+DEFAULT_MAX_RESHUFFLES = 100
+
+
+@dataclass
+class FabricatedChiplet:
+    """One collision-free chiplet out of a fabrication batch.
+
+    Attributes
+    ----------
+    frequencies_ghz:
+        Actual qubit frequencies of this die.
+    edge_errors:
+        KGD-characterised two-qubit infidelity per on-chip coupling
+        (local qubit indices).
+    """
+
+    frequencies_ghz: np.ndarray
+    edge_errors: dict[tuple[int, int], float]
+
+    @property
+    def average_error(self) -> float:
+        """Average on-chip two-qubit infidelity (used for binning)."""
+        return float(np.mean(list(self.edge_errors.values())))
+
+
+@dataclass
+class ChipletBin:
+    """The sorted, collision-free chiplet bin produced by KGD testing.
+
+    Attributes
+    ----------
+    design:
+        The chiplet design every die implements.
+    chiplets:
+        Collision-free dies sorted by ascending average error.
+    batch_size:
+        Size of the original fabrication batch.
+    """
+
+    design: ChipletDesign
+    chiplets: list[FabricatedChiplet]
+    batch_size: int
+
+    @property
+    def num_collision_free(self) -> int:
+        """Number of dies that survived collision screening."""
+        return len(self.chiplets)
+
+    @property
+    def collision_free_yield(self) -> float:
+        """Fraction of the batch that is collision-free."""
+        return self.num_collision_free / self.batch_size
+
+
+@dataclass
+class AssembledMCM:
+    """A complete, collision-free multi-chip module.
+
+    Attributes
+    ----------
+    design:
+        The MCM design (grid + links) the module implements.
+    frequencies_ghz:
+        Assembled per-qubit frequencies (global MCM indices).
+    edge_errors:
+        Two-qubit infidelity for every coupling, including links.
+    """
+
+    design: MCMDesign
+    frequencies_ghz: np.ndarray
+    edge_errors: dict[tuple[int, int], float]
+
+    @property
+    def average_error(self) -> float:
+        """Average two-qubit infidelity over all couplings (``E_avg``)."""
+        return float(np.mean(list(self.edge_errors.values())))
+
+    def to_device(self, name: str | None = None) -> Device:
+        """Convert the assembled module into a :class:`Device`."""
+        return Device(
+            name=name or self.design.name,
+            coupling=self.design.coupling_map(),
+            frequencies_ghz=self.frequencies_ghz,
+            labels=self.design.allocation.labels.copy(),
+            edge_errors=dict(self.edge_errors),
+            metadata={
+                "chiplet_size": self.design.chiplet.num_qubits,
+                "grid": (self.design.grid_rows, self.design.grid_cols),
+                "num_links": self.design.num_links,
+            },
+        )
+
+
+@dataclass
+class AssemblyResult:
+    """Outcome of assembling one MCM configuration from a chiplet bin."""
+
+    design: MCMDesign
+    mcms: list[AssembledMCM] = field(default_factory=list)
+    chiplets_used: int = 0
+    chiplets_set_aside: int = 0
+    reshuffles: int = 0
+
+    @property
+    def num_mcms(self) -> int:
+        """Number of complete, collision-free MCMs assembled."""
+        return len(self.mcms)
+
+
+def fabricate_chiplet_bin(
+    design: ChipletDesign,
+    fabrication: FabricationModel,
+    cx_model: EmpiricalCXModel,
+    batch_size: int,
+    rng: np.random.Generator,
+    thresholds: CollisionThresholds | None = None,
+) -> ChipletBin:
+    """Fabricate, screen and KGD-characterise a batch of chiplets."""
+    frequencies = fabrication.sample_batch(design.allocation, batch_size, rng)
+    mask = collision_free_mask(design.allocation, frequencies, thresholds)
+    survivors = frequencies[mask]
+
+    edges = design.edges()
+    chiplets: list[FabricatedChiplet] = []
+    if survivors.shape[0]:
+        # Vectorised detunings for every surviving die and coupling.
+        edge_u = np.asarray([u for u, _ in edges])
+        edge_v = np.asarray([v for _, v in edges])
+        detunings = np.abs(survivors[:, edge_u] - survivors[:, edge_v])
+        errors = cx_model.sample_many(detunings, rng)
+        for row in range(survivors.shape[0]):
+            edge_errors = {
+                edges[col]: float(errors[row, col]) for col in range(len(edges))
+            }
+            chiplets.append(
+                FabricatedChiplet(
+                    frequencies_ghz=survivors[row].copy(), edge_errors=edge_errors
+                )
+            )
+    chiplets.sort(key=lambda c: c.average_error)
+    return ChipletBin(design=design, chiplets=chiplets, batch_size=batch_size)
+
+
+def _try_placements(
+    subset: list[FabricatedChiplet],
+    design: MCMDesign,
+    rng: np.random.Generator,
+    max_reshuffles: int,
+    thresholds: CollisionThresholds | None,
+) -> tuple[list[int] | None, int]:
+    """Search for a collision-free placement of ``subset`` into the MCM grid.
+
+    Returns the placement (a permutation of subset indices) and the number
+    of reshuffles that were attempted.
+    """
+    num_chips = design.num_chips
+    order = list(range(num_chips))
+    attempts = 0
+    placement = order
+    while True:
+        frequencies = design.assemble_frequencies(
+            [subset[i].frequencies_ghz for i in placement]
+        )
+        if bool(collision_free_mask(design.allocation, frequencies, thresholds)[0]):
+            return placement, attempts
+        if attempts >= max_reshuffles:
+            return None, attempts
+        attempts += 1
+        placement = list(rng.permutation(num_chips))
+
+
+def assemble_mcms(
+    chiplet_bin: ChipletBin,
+    design: MCMDesign,
+    link_model: LinkErrorModel,
+    rng: np.random.Generator,
+    max_reshuffles: int = DEFAULT_MAX_RESHUFFLES,
+    max_mcms: int | None = None,
+    thresholds: CollisionThresholds | None = None,
+) -> AssemblyResult:
+    """Greedily stitch the sorted chiplet bin into complete MCMs.
+
+    Parameters
+    ----------
+    chiplet_bin:
+        Sorted, collision-free chiplets (best first).
+    design:
+        The MCM configuration to assemble.
+    link_model:
+        Inter-chip link error distribution used to characterise link gates.
+    rng:
+        Source of randomness for reshuffling and link-error sampling.
+    max_reshuffles:
+        Placement-permutation time-out per subset (paper: 100).
+    max_mcms:
+        Optional cap on the number of MCMs to assemble (useful when only
+        the best module is needed for application analysis).
+    thresholds:
+        Collision windows.
+    """
+    if design.chiplet.num_qubits != chiplet_bin.design.num_qubits:
+        raise ValueError("chiplet bin and MCM design use different chiplet sizes")
+
+    result = AssemblyResult(design=design)
+    pool = list(chiplet_bin.chiplets)
+    num_chips = design.num_chips
+    qc = design.chiplet.num_qubits
+
+    while len(pool) >= num_chips:
+        if max_mcms is not None and result.num_mcms >= max_mcms:
+            break
+        subset = pool[:num_chips]
+        placement, attempts = _try_placements(
+            subset, design, rng, max_reshuffles, thresholds
+        )
+        result.reshuffles += attempts
+        if placement is None:
+            # No collision-free arrangement: set the leading chiplet aside and
+            # retry with the next subset from the sorted bin.
+            pool.pop(0)
+            result.chiplets_set_aside += 1
+            continue
+
+        ordered = [subset[i] for i in placement]
+        frequencies = design.assemble_frequencies([c.frequencies_ghz for c in ordered])
+        edge_errors: dict[tuple[int, int], float] = {}
+        for chip_index, chiplet in enumerate(ordered):
+            offset = chip_index * qc
+            for (u, v), error in chiplet.edge_errors.items():
+                edge_errors[(u + offset, v + offset)] = error
+        for link in design.links:
+            edge_errors[link.edge] = float(link_model.sample(rng))
+
+        result.mcms.append(
+            AssembledMCM(
+                design=design,
+                frequencies_ghz=frequencies,
+                edge_errors=edge_errors,
+            )
+        )
+        result.chiplets_used += num_chips
+        pool = pool[num_chips:]
+
+    return result
+
+
+def bump_bond_success_probability(
+    num_link_qubits: int,
+    bump_success: float = C4_BUMP_SUCCESS_PROBABILITY,
+    bumps_per_link_qubit: int = BUMPS_PER_LINK_QUBIT,
+    failure_multiplier: float = 1.0,
+) -> float:
+    """Probability that every link qubit of an MCM bonds successfully.
+
+    ``failure_multiplier`` scales the per-bump *failure* probability and is
+    used for the paper's 100x sensitivity study (Fig. 8 dashed curves).
+    """
+    if not 0.0 <= bump_success <= 1.0:
+        raise ValueError("bump_success must be a probability")
+    failure = (1.0 - bump_success) * failure_multiplier
+    effective_success = max(0.0, 1.0 - failure)
+    per_qubit = effective_success**bumps_per_link_qubit
+    return per_qubit**num_link_qubits
+
+
+def post_assembly_yield(
+    result: AssemblyResult,
+    batch_size: int,
+    bump_success: float = C4_BUMP_SUCCESS_PROBABILITY,
+    bumps_per_link_qubit: int = BUMPS_PER_LINK_QUBIT,
+    failure_multiplier: float = 1.0,
+) -> float:
+    """Post-assembly MCM yield (paper Section VII-C1).
+
+    The utilisation term is the fraction of the original fabrication batch
+    that ended up inside complete, collision-free MCMs; the bonding term is
+    the probability that all ``L`` link qubits of a module bond correctly.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    utilisation = result.chiplets_used / batch_size
+    bonding = bump_bond_success_probability(
+        result.design.num_link_qubits,
+        bump_success=bump_success,
+        bumps_per_link_qubit=bumps_per_link_qubit,
+        failure_multiplier=failure_multiplier,
+    )
+    return utilisation * bonding

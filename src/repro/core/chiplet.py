@@ -1,0 +1,144 @@
+"""Chiplet designs: small heavy-hex dies intended for MCM integration.
+
+A :class:`ChipletDesign` is a heavy-hex lattice with the three-frequency
+allocation plus the bookkeeping needed to stitch chiplets into a multi-chip
+module: which boundary qubits can host an inter-chip link, and which labels
+their existing Cross-Resonance targets carry (so that adding a link never
+creates an *ideal* Table I collision).
+
+The paper studies chiplets of 10, 20, 40, 60, 90, 120, 160, 200 and 250
+qubits; :data:`PAPER_CHIPLET_SIZES` lists them and
+:func:`ChipletDesign.build` constructs any size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.collisions import find_collisions
+from repro.core.frequencies import (
+    FrequencyAllocation,
+    FrequencySpec,
+    allocate_heavy_hex_frequencies,
+)
+from repro.topology.heavy_hex import HeavyHexLattice, heavy_hex_by_qubit_count
+
+__all__ = ["ChipletDesign", "PAPER_CHIPLET_SIZES"]
+
+#: Chiplet sizes evaluated in the paper (Section VII-B).
+PAPER_CHIPLET_SIZES = (10, 20, 40, 60, 90, 120, 160, 200, 250)
+
+
+@dataclass
+class ChipletDesign:
+    """A chiplet: heavy-hex lattice + frequency plan + link-site metadata.
+
+    Attributes
+    ----------
+    lattice:
+        The chiplet's heavy-hex lattice.
+    allocation:
+        Ideal frequency plan of the chiplet.
+    name:
+        Identifier, e.g. ``"chiplet-20"``.
+    """
+
+    lattice: HeavyHexLattice
+    allocation: FrequencyAllocation
+    name: str
+    _row_boundaries: dict[str, dict[int, int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @classmethod
+    def build(
+        cls,
+        num_qubits: int,
+        spec: FrequencySpec | None = None,
+        name: str | None = None,
+    ) -> "ChipletDesign":
+        """Construct a chiplet with exactly ``num_qubits`` qubits.
+
+        The underlying lattice is chosen by :func:`heavy_hex_by_qubit_count`
+        and must be ideally collision-free under the given frequency spec.
+        """
+        label = name or f"chiplet-{num_qubits}"
+        lattice = heavy_hex_by_qubit_count(num_qubits, name=label)
+        allocation = allocate_heavy_hex_frequencies(lattice, spec=spec)
+        design = cls(lattice=lattice, allocation=allocation, name=label)
+        report = find_collisions(allocation, allocation.ideal_frequencies)
+        if not report.is_collision_free:
+            raise ValueError(
+                f"chiplet design {label} has ideal-frequency collisions: "
+                f"{report.counts_by_type()}"
+            )
+        return design
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits on the chiplet."""
+        return self.lattice.num_qubits
+
+    @property
+    def num_edges(self) -> int:
+        """Number of on-chip couplings."""
+        return self.lattice.num_edges
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Per-qubit frequency labels."""
+        return self.allocation.labels
+
+    def edges(self) -> list[tuple[int, int]]:
+        """On-chip couplings as ``(low, high)`` pairs."""
+        return list(self.lattice.edges)
+
+    def control_target_labels(self) -> dict[int, list[int]]:
+        """For every qubit acting as a control: the labels of its targets.
+
+        MCM assembly uses this to verify that attaching an inter-chip link to
+        a boundary qubit never gives a control two targets of the same label
+        (which would be a guaranteed near-null, Type 5 collision).
+        """
+        targets: dict[int, list[int]] = {}
+        for control, target in self.allocation.directed_edges:
+            targets.setdefault(int(control), []).append(int(self.labels[target]))
+        return targets
+
+    # ------------------------------------------------------------------ #
+    # Boundary / link-site helpers
+    # ------------------------------------------------------------------ #
+    def _boundary(self, side: str) -> dict[int, int]:
+        """Boundary qubits keyed by row (left/right) or column (top/bottom)."""
+        if side not in self._row_boundaries:
+            if side == "right":
+                qubits = self.lattice.boundary_right()
+                keyed = {self.lattice.site(q).row: q for q in qubits}
+            elif side == "left":
+                qubits = self.lattice.boundary_left()
+                keyed = {self.lattice.site(q).row: q for q in qubits}
+            elif side == "bottom":
+                qubits = self.lattice.boundary_bottom()
+                keyed = {self.lattice.site(q).col: q for q in qubits}
+            elif side == "top":
+                qubits = self.lattice.boundary_top()
+                keyed = {self.lattice.site(q).col: q for q in qubits}
+            else:
+                raise ValueError(f"unknown boundary side {side!r}")
+            self._row_boundaries[side] = keyed
+        return dict(self._row_boundaries[side])
+
+    def boundary_qubits(self, side: str) -> dict[int, int]:
+        """Boundary qubits of one side, keyed by dense row (or column).
+
+        Parameters
+        ----------
+        side:
+            One of ``"left"``, ``"right"``, ``"top"``, ``"bottom"``.
+        """
+        return self._boundary(side)

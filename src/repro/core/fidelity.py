@@ -1,0 +1,138 @@
+"""Average two-qubit infidelity comparison machinery (paper Fig. 9).
+
+The paper compares MCM and monolithic architectures through ``E_avg``: the
+two-qubit gate infidelity averaged over every coupled qubit pair of a
+device, itself averaged over all devices in the (scaled) collision-free
+yield.  A ratio ``E_avg,MCM / E_avg,Mono`` below one means the modular
+system offers lower average error than the monolith of the same size.
+
+Four link-quality scenarios are studied: the state of the art
+(``e_link / e_chip ~ 4.17``) and projected improvements with the ratio
+reduced to 3, 2 and 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.device.noise import (
+    LinkErrorModel,
+    LINK_MEAN_INFIDELITY,
+    LINK_MEDIAN_INFIDELITY,
+    ON_CHIP_MEAN_INFIDELITY,
+)
+
+__all__ = [
+    "LinkScenario",
+    "EavgComparison",
+    "default_link_scenarios",
+    "average_infidelity",
+    "infidelity_ratio",
+]
+
+
+@dataclass(frozen=True)
+class LinkScenario:
+    """One link-quality scenario of Fig. 9.
+
+    Attributes
+    ----------
+    name:
+        Scenario label, e.g. ``"state-of-art"`` or ``"elink=2echip"``.
+    ratio:
+        Target ``e_link / e_chip`` mean-error ratio.
+    link_model:
+        The link-error distribution realising the scenario.
+    """
+
+    name: str
+    ratio: float
+    link_model: LinkErrorModel
+
+
+def default_link_scenarios(
+    on_chip_mean: float = ON_CHIP_MEAN_INFIDELITY,
+    improvement_ratios: Sequence[float] = (3.0, 2.0, 1.0),
+) -> list[LinkScenario]:
+    """The paper's four Fig. 9 scenarios.
+
+    The first scenario uses the published flip-chip error distribution
+    unchanged (mean 7.5 %, ratio ~4.17 against the on-chip mean); the
+    remaining scenarios rescale the distribution so its mean equals
+    ``ratio * on_chip_mean``.
+    """
+    base = LinkErrorModel.from_mean_median(
+        mean=LINK_MEAN_INFIDELITY, median=LINK_MEDIAN_INFIDELITY
+    )
+    scenarios = [
+        LinkScenario(
+            name="state-of-art",
+            ratio=base.mean / on_chip_mean,
+            link_model=base,
+        )
+    ]
+    for ratio in improvement_ratios:
+        scenarios.append(
+            LinkScenario(
+                name=f"elink={ratio:g}echip",
+                ratio=float(ratio),
+                link_model=base.scaled_to_mean(ratio * on_chip_mean),
+            )
+        )
+    return scenarios
+
+
+def average_infidelity(per_device_averages: Iterable[float]) -> float:
+    """Mean of per-device average infidelities (``nan`` when empty)."""
+    values = np.asarray(list(per_device_averages), dtype=float)
+    if values.size == 0:
+        return float("nan")
+    return float(values.mean())
+
+
+def infidelity_ratio(mcm_eavg: float, mono_eavg: float) -> float:
+    """``E_avg,MCM / E_avg,Mono`` handling the zero-yield monolith case."""
+    if np.isnan(mono_eavg) or mono_eavg == 0.0:
+        return float("nan")
+    return mcm_eavg / mono_eavg
+
+
+@dataclass(frozen=True)
+class EavgComparison:
+    """One cell of the Fig. 9 heat-map.
+
+    Attributes
+    ----------
+    chiplet_size:
+        Chiplet size in qubits.
+    grid:
+        MCM dimensions ``(n, n)``.
+    num_qubits:
+        Total system size.
+    scenario:
+        Link-quality scenario name.
+    mcm_eavg, mono_eavg:
+        Average two-qubit infidelity of the modular and monolithic systems
+        (``nan`` when the monolithic yield is zero).
+    """
+
+    chiplet_size: int
+    grid: tuple[int, int]
+    num_qubits: int
+    scenario: str
+    mcm_eavg: float
+    mono_eavg: float
+
+    @property
+    def ratio(self) -> float:
+        """``E_avg,MCM / E_avg,Mono`` (``nan`` for zero-yield monoliths)."""
+        return infidelity_ratio(self.mcm_eavg, self.mono_eavg)
+
+    @property
+    def mcm_wins(self) -> bool:
+        """True when the MCM has lower average infidelity than the monolith."""
+        ratio = self.ratio
+        return bool(not np.isnan(ratio) and ratio < 1.0)

@@ -1,0 +1,247 @@
+"""Three-frequency allocation for heavy-hex transmon lattices.
+
+The paper (Section III-B) avoids frequency collisions at design time by
+assigning every qubit one of three ideal frequencies ``F0 < F1 < F2`` such
+that
+
+* nearest neighbours never share a label,
+* the highest frequency, ``F2``, is only given to qubits of degree <= 2
+  (the heavy-hex *bridge* qubits), which act as the control in
+  Cross-Resonance interactions, and
+* an ``F2`` qubit is never surrounded by two qubits of the same label.
+
+This module produces a :class:`FrequencyAllocation` for a lattice: per-qubit
+labels, ideal frequencies, anharmonicities, a directed control->target view
+of every coupling, and the (control, target, target) triples required by the
+Table I criteria of types 5-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.heavy_hex import HeavyHexLattice
+
+__all__ = [
+    "FrequencySpec",
+    "FrequencyAllocation",
+    "allocate_heavy_hex_frequencies",
+    "allocation_from_labels",
+    "heavy_hex_labels",
+    "dense_label",
+    "DEFAULT_ANHARMONICITY_GHZ",
+    "DEFAULT_BASE_FREQUENCY_GHZ",
+    "DEFAULT_STEP_GHZ",
+]
+
+#: Transmon anharmonicity used throughout the paper (GHz).
+DEFAULT_ANHARMONICITY_GHZ = -0.330
+
+#: Lowest ideal frequency F0 (GHz); the paper fixes it at ~5 GHz.
+DEFAULT_BASE_FREQUENCY_GHZ = 5.0
+
+#: Ideal detuning between consecutive frequencies; 0.06 GHz maximises yield
+#: in the paper's Fig. 4 sweep.
+DEFAULT_STEP_GHZ = 0.06
+
+
+@dataclass(frozen=True)
+class FrequencySpec:
+    """Design targets for the three-frequency heavy-hex pattern.
+
+    Attributes
+    ----------
+    base_ghz:
+        Ideal frequency of the ``F0`` qubits.
+    step_ghz:
+        Detuning between consecutive ideal frequencies, so
+        ``F1 = F0 + step`` and ``F2 = F0 + 2 * step``.
+    anharmonicity_ghz:
+        Transmon anharmonicity (negative).
+    """
+
+    base_ghz: float = DEFAULT_BASE_FREQUENCY_GHZ
+    step_ghz: float = DEFAULT_STEP_GHZ
+    anharmonicity_ghz: float = DEFAULT_ANHARMONICITY_GHZ
+
+    def frequency_for_label(self, label: int) -> float:
+        """Ideal frequency (GHz) of a qubit with label 0, 1 or 2."""
+        if label not in (0, 1, 2):
+            raise ValueError(f"unknown frequency label {label}")
+        return self.base_ghz + label * self.step_ghz
+
+    @property
+    def frequencies(self) -> tuple[float, float, float]:
+        """The three ideal frequencies ``(F0, F1, F2)``."""
+        return (
+            self.frequency_for_label(0),
+            self.frequency_for_label(1),
+            self.frequency_for_label(2),
+        )
+
+
+@dataclass
+class FrequencyAllocation:
+    """Frequency plan for one device topology.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`FrequencySpec` this allocation was built from.
+    labels:
+        Per-qubit frequency label (0, 1 or 2) as an ``int`` array.
+    ideal_frequencies:
+        Per-qubit ideal frequency in GHz.
+    anharmonicities:
+        Per-qubit anharmonicity in GHz.
+    directed_edges:
+        Every coupling expressed as a ``(control, target)`` pair.  Following
+        the paper, the endpoint with the larger ideal frequency acts as the
+        control of the Cross-Resonance gate.
+    control_triples:
+        ``(control, target_a, target_b)`` for every pair of targets that
+        shares a control qubit; used by collision criteria 5-7.
+    """
+
+    spec: FrequencySpec
+    labels: np.ndarray
+    ideal_frequencies: np.ndarray
+    anharmonicities: np.ndarray
+    directed_edges: np.ndarray
+    control_triples: np.ndarray
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits covered by the allocation."""
+        return int(self.labels.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of couplings covered by the allocation."""
+        return int(self.directed_edges.shape[0])
+
+    def label_counts(self) -> dict[int, int]:
+        """Map frequency label -> number of qubits carrying it."""
+        values, counts = np.unique(self.labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def _orient_edges(
+    edges: list[tuple[int, int]], labels: np.ndarray, ideal: np.ndarray
+) -> np.ndarray:
+    """Orient undirected couplings into (control, target) pairs.
+
+    The control is the endpoint with the higher ideal frequency; ties (which
+    only occur for inter-chip links joining same-label qubits) are broken by
+    qubit index so the orientation is deterministic.
+    """
+    directed = []
+    for u, v in edges:
+        key_u = (ideal[u], labels[u], -u)
+        key_v = (ideal[v], labels[v], -v)
+        control, target = (u, v) if key_u > key_v else (v, u)
+        directed.append((control, target))
+    if not directed:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.asarray(directed, dtype=np.int64)
+
+
+def _control_triples(directed_edges: np.ndarray) -> np.ndarray:
+    """Enumerate (control, target_a, target_b) triples for shared controls."""
+    triples: list[tuple[int, int, int]] = []
+    by_control: dict[int, list[int]] = {}
+    for control, target in directed_edges:
+        by_control.setdefault(int(control), []).append(int(target))
+    for control, targets in by_control.items():
+        targets = sorted(targets)
+        for i in range(len(targets)):
+            for j in range(i + 1, len(targets)):
+                triples.append((control, targets[i], targets[j]))
+    if not triples:
+        return np.zeros((0, 3), dtype=np.int64)
+    return np.asarray(triples, dtype=np.int64)
+
+
+#: Period-4 label pattern along dense rows: F1, F2, F0, F2, F1, F2, F0, ...
+#: Bridge qubits always carry F2.  The pattern guarantees that
+#: (a) nearest neighbours never share a label,
+#: (b) every F2 qubit has degree <= 2 and its neighbours carry different
+#:     labels (one F0, one F1), and
+#: (c) only F2 qubits ever act as the control of a Cross-Resonance gate,
+#: exactly as required by the paper's ideal heavy-hex assignment.
+_DENSE_ROW_PATTERN = (1, 2, 0, 2)
+
+
+def dense_label(row: int, col: int, phase: int = 0) -> int:
+    """Frequency label of a dense-row qubit at ``(row, col)``.
+
+    Odd dense rows are shifted by two columns so that bridge qubits (which
+    sit at columns 0/2 modulo 4) always connect an F0 qubit to an F1 qubit.
+    The ``phase`` offset (in columns) lets MCM assembly shift the pattern of
+    individual chiplets when stitching them together.
+    """
+    return _DENSE_ROW_PATTERN[(col + 2 * (row % 2) + phase) % 4]
+
+
+def heavy_hex_labels(lattice: HeavyHexLattice, phase: int = 0) -> np.ndarray:
+    """Frequency labels for a heavy-hex lattice.
+
+    Dense qubits follow the period-4 pattern ``F1, F2, F0, F2`` (shifted by
+    two columns on odd rows); bridge qubits always receive F2.  See
+    :func:`dense_label` for the role of ``phase``.
+    """
+    labels = np.empty(lattice.num_qubits, dtype=np.int64)
+    for site in lattice.sites:
+        if site.is_bridge:
+            labels[site.index] = 2
+        else:
+            labels[site.index] = dense_label(site.row, site.col, phase)
+    return labels
+
+
+def allocation_from_labels(
+    labels: np.ndarray,
+    edges: list[tuple[int, int]],
+    spec: FrequencySpec | None = None,
+) -> FrequencyAllocation:
+    """Build a :class:`FrequencyAllocation` from explicit labels and couplings."""
+    spec = spec or FrequencySpec()
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a one-dimensional array")
+    if labels.size and (labels.min() < 0 or labels.max() > 2):
+        raise ValueError("labels must be 0, 1 or 2")
+    ideal = np.asarray([spec.frequency_for_label(int(l)) for l in labels], dtype=float)
+    anharmonicity = np.full(labels.shape[0], spec.anharmonicity_ghz, dtype=float)
+    directed = _orient_edges(edges, labels, ideal)
+    triples = _control_triples(directed)
+    return FrequencyAllocation(
+        spec=spec,
+        labels=labels,
+        ideal_frequencies=ideal,
+        anharmonicities=anharmonicity,
+        directed_edges=directed,
+        control_triples=triples,
+    )
+
+
+def allocate_heavy_hex_frequencies(
+    lattice: HeavyHexLattice,
+    spec: FrequencySpec | None = None,
+    phase: int = 0,
+) -> FrequencyAllocation:
+    """Allocate the three-frequency heavy-hex pattern onto a lattice.
+
+    Parameters
+    ----------
+    lattice:
+        The heavy-hex lattice to label.
+    spec:
+        Frequency targets; defaults to the paper's 5.0/5.06/5.12 GHz pattern.
+    phase:
+        Parity flip of the F0/F1 assignment (0 or 1).
+    """
+    labels = heavy_hex_labels(lattice, phase=phase)
+    return allocation_from_labels(labels, lattice.edges, spec=spec)

@@ -1,0 +1,118 @@
+"""Monolithic vs. MCM fabrication-output model (paper Section V-C, Eq. 1).
+
+Chiplets occupy less wafer area than a monolithic die, so the same wafer
+budget produces many more of them.  Approximating the die-area ratio by the
+qubit-capacity ratio ``q_m / q_c``, the number of complete ``k x m`` MCMs
+obtainable from the wafer area that would have produced ``B`` monolithic
+dies is
+
+    N = Y_c * (B * q_m / q_c) / (k * m)            (Eq. 1)
+
+while the monolithic output is simply ``Y_m * B``.  The paper's worked
+example (q_m = 100, q_c = 10, B = 1000, Y_m = 0.11, Y_c = 0.85, 2 x 5 MCMs)
+gives an output gain of roughly 7.7x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FabricationOutput",
+    "mcm_output_upper_bound",
+    "monolithic_output",
+    "compare_fabrication_output",
+]
+
+
+@dataclass(frozen=True)
+class FabricationOutput:
+    """Comparison of monolithic vs. MCM production from equal wafer area.
+
+    Attributes
+    ----------
+    monolithic_devices:
+        Expected number of collision-free monolithic devices (``Y_m * B``).
+    mcm_devices:
+        Upper bound on the number of complete MCMs (Eq. 1).
+    gain:
+        ``mcm_devices / monolithic_devices`` (``inf`` when the monolithic
+        yield is zero).
+    """
+
+    monolithic_qubits: int
+    chiplet_qubits: int
+    grid_rows: int
+    grid_cols: int
+    batch_size: int
+    monolithic_yield: float
+    chiplet_yield: float
+    monolithic_devices: float
+    mcm_devices: float
+
+    @property
+    def gain(self) -> float:
+        """Manufacturing-output gain of the MCM route over the monolith."""
+        if self.monolithic_devices == 0:
+            return float("inf")
+        return self.mcm_devices / self.monolithic_devices
+
+
+def mcm_output_upper_bound(
+    chiplet_yield: float,
+    batch_size: int,
+    monolithic_qubits: int,
+    chiplet_qubits: int,
+    grid_rows: int,
+    grid_cols: int,
+) -> float:
+    """Equation 1: upper bound on complete MCMs from the shared wafer budget."""
+    if not 0.0 <= chiplet_yield <= 1.0:
+        raise ValueError("chiplet_yield must be a probability")
+    if min(batch_size, monolithic_qubits, chiplet_qubits, grid_rows, grid_cols) <= 0:
+        raise ValueError("all size parameters must be positive")
+    chiplet_batch = batch_size * monolithic_qubits / chiplet_qubits
+    return chiplet_yield * chiplet_batch / (grid_rows * grid_cols)
+
+
+def monolithic_output(monolithic_yield: float, batch_size: int) -> float:
+    """Expected number of collision-free monolithic devices from the batch."""
+    if not 0.0 <= monolithic_yield <= 1.0:
+        raise ValueError("monolithic_yield must be a probability")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    return monolithic_yield * batch_size
+
+
+def compare_fabrication_output(
+    monolithic_yield: float,
+    chiplet_yield: float,
+    batch_size: int,
+    monolithic_qubits: int,
+    chiplet_qubits: int,
+    grid_rows: int,
+    grid_cols: int,
+) -> FabricationOutput:
+    """Full Section V-C comparison for one (monolith, chiplet, MCM) triple."""
+    if grid_rows * grid_cols * chiplet_qubits != monolithic_qubits:
+        raise ValueError(
+            "the MCM must contain the same number of qubits as the monolithic device"
+        )
+    return FabricationOutput(
+        monolithic_qubits=monolithic_qubits,
+        chiplet_qubits=chiplet_qubits,
+        grid_rows=grid_rows,
+        grid_cols=grid_cols,
+        batch_size=batch_size,
+        monolithic_yield=monolithic_yield,
+        chiplet_yield=chiplet_yield,
+        monolithic_devices=monolithic_output(monolithic_yield, batch_size),
+        mcm_devices=mcm_output_upper_bound(
+            chiplet_yield,
+            batch_size,
+            monolithic_qubits,
+            chiplet_qubits,
+            grid_rows,
+            grid_cols,
+        ),
+    )

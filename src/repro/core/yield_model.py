@@ -1,0 +1,248 @@
+"""Monte-Carlo collision-free yield model (paper Section IV-B, Fig. 4).
+
+The simulation virtually fabricates a batch of heavy-hex devices, samples
+their qubit frequencies from the fabrication model, evaluates the seven
+Table I collision criteria, and reports the fraction of devices with no
+collision — the *collision-free yield*.
+
+Key entry points
+----------------
+:func:`simulate_yield`
+    Yield for one topology / one (sigma_f, step) parameter point.
+:func:`yield_vs_qubits`
+    Yield curve over a range of device sizes (one curve of Fig. 4).
+:func:`detuning_sweep`
+    The full Fig. 4 grid: yield vs. qubits for several detuning steps and
+    fabrication precisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.collisions import CollisionThresholds, collision_free_mask
+from repro.core.fabrication import FabricationModel
+from repro.core.frequencies import (
+    FrequencyAllocation,
+    FrequencySpec,
+    allocate_heavy_hex_frequencies,
+)
+from repro.topology.heavy_hex import HeavyHexLattice, heavy_hex_by_qubit_count
+
+__all__ = [
+    "YieldResult",
+    "YieldCurve",
+    "simulate_yield",
+    "simulate_yield_with_devices",
+    "yield_vs_qubits",
+    "detuning_sweep",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_SIZE_GRID",
+]
+
+#: Batch size used for the paper's Fig. 4 Monte-Carlo runs.
+DEFAULT_BATCH_SIZE = 1000
+
+#: Device sizes (qubits) probed by the yield-vs-size curves.
+DEFAULT_SIZE_GRID = (
+    5, 10, 16, 20, 27, 40, 50, 65, 80, 100, 127, 160, 200, 250, 300,
+    400, 500, 650, 800, 1000,
+)
+
+
+@dataclass(frozen=True)
+class YieldResult:
+    """Collision-free yield at a single parameter point.
+
+    Attributes
+    ----------
+    num_qubits:
+        Device size in qubits.
+    sigma_ghz:
+        Fabrication precision used for the batch.
+    step_ghz:
+        Ideal detuning between F0/F1/F2.
+    batch_size:
+        Number of simulated devices.
+    num_collision_free:
+        Devices that passed every Table I criterion.
+    """
+
+    num_qubits: int
+    sigma_ghz: float
+    step_ghz: float
+    batch_size: int
+    num_collision_free: int
+
+    @property
+    def collision_free_yield(self) -> float:
+        """Fraction of devices with no frequency collision."""
+        return self.num_collision_free / self.batch_size
+
+
+@dataclass
+class YieldCurve:
+    """Collision-free yield as a function of device size."""
+
+    sigma_ghz: float
+    step_ghz: float
+    points: list[YieldResult] = field(default_factory=list)
+
+    @property
+    def sizes(self) -> list[int]:
+        """Device sizes along the curve."""
+        return [p.num_qubits for p in self.points]
+
+    @property
+    def yields(self) -> list[float]:
+        """Collision-free yields along the curve."""
+        return [p.collision_free_yield for p in self.points]
+
+    def yield_at(self, num_qubits: int) -> float:
+        """Yield for a specific size (raises if the size was not simulated)."""
+        for point in self.points:
+            if point.num_qubits == num_qubits:
+                return point.collision_free_yield
+        raise KeyError(f"size {num_qubits} not present in the curve")
+
+
+def simulate_yield(
+    allocation: FrequencyAllocation,
+    fabrication: FabricationModel,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    rng: np.random.Generator | None = None,
+    thresholds: CollisionThresholds | None = None,
+) -> YieldResult:
+    """Monte-Carlo collision-free yield for one topology.
+
+    Parameters
+    ----------
+    allocation:
+        Frequency plan of the device under test.
+    fabrication:
+        Gaussian frequency-scatter model.
+    batch_size:
+        Number of devices to fabricate virtually.
+    rng:
+        Source of randomness (a fresh default generator when omitted).
+    thresholds:
+        Collision windows; defaults to the Table I values.
+    """
+    rng = rng or np.random.default_rng()
+    frequencies = fabrication.sample_batch(allocation, batch_size, rng)
+    mask = collision_free_mask(allocation, frequencies, thresholds)
+    return YieldResult(
+        num_qubits=allocation.num_qubits,
+        sigma_ghz=fabrication.sigma_ghz,
+        step_ghz=allocation.spec.step_ghz,
+        batch_size=batch_size,
+        num_collision_free=int(mask.sum()),
+    )
+
+
+def simulate_yield_with_devices(
+    allocation: FrequencyAllocation,
+    fabrication: FabricationModel,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    rng: np.random.Generator | None = None,
+    thresholds: CollisionThresholds | None = None,
+) -> tuple[YieldResult, np.ndarray]:
+    """Like :func:`simulate_yield` but also return the surviving devices.
+
+    Returns
+    -------
+    tuple
+        ``(result, frequencies)`` where ``frequencies`` has shape
+        ``(num_collision_free, num_qubits)`` and holds the sampled frequency
+        profile of every collision-free device — the raw material for
+        known-good-die binning and MCM assembly.
+    """
+    rng = rng or np.random.default_rng()
+    frequencies = fabrication.sample_batch(allocation, batch_size, rng)
+    mask = collision_free_mask(allocation, frequencies, thresholds)
+    result = YieldResult(
+        num_qubits=allocation.num_qubits,
+        sigma_ghz=fabrication.sigma_ghz,
+        step_ghz=allocation.spec.step_ghz,
+        batch_size=batch_size,
+        num_collision_free=int(mask.sum()),
+    )
+    return result, frequencies[mask]
+
+
+def yield_vs_qubits(
+    sigma_ghz: float,
+    step_ghz: float,
+    sizes: tuple[int, ...] = DEFAULT_SIZE_GRID,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    seed: int | None = 7,
+    thresholds: CollisionThresholds | None = None,
+    lattices: dict[int, HeavyHexLattice] | None = None,
+) -> YieldCurve:
+    """Collision-free yield curve over a range of heavy-hex device sizes.
+
+    Parameters
+    ----------
+    sigma_ghz:
+        Fabrication precision of the batch.
+    step_ghz:
+        Ideal detuning between F0, F1 and F2.
+    sizes:
+        Device sizes (qubits) to probe.
+    batch_size:
+        Devices fabricated per size.
+    seed:
+        Seed for the Monte-Carlo sampling (``None`` for non-deterministic).
+    thresholds:
+        Collision windows.
+    lattices:
+        Optional cache mapping size -> pre-built lattice, to avoid repeating
+        the lattice search across parameter points.
+    """
+    rng = np.random.default_rng(seed)
+    fabrication = FabricationModel(sigma_ghz=sigma_ghz)
+    spec = FrequencySpec(step_ghz=step_ghz)
+    curve = YieldCurve(sigma_ghz=sigma_ghz, step_ghz=step_ghz)
+    for size in sizes:
+        if lattices is not None and size in lattices:
+            lattice = lattices[size]
+        else:
+            lattice = heavy_hex_by_qubit_count(size)
+            if lattices is not None:
+                lattices[size] = lattice
+        allocation = allocate_heavy_hex_frequencies(lattice, spec=spec)
+        curve.points.append(
+            simulate_yield(allocation, fabrication, batch_size, rng, thresholds)
+        )
+    return curve
+
+
+def detuning_sweep(
+    steps_ghz: tuple[float, ...] = (0.04, 0.05, 0.06, 0.07),
+    sigmas_ghz: tuple[float, ...] = (0.1323, 0.014, 0.006),
+    sizes: tuple[int, ...] = DEFAULT_SIZE_GRID,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    seed: int | None = 7,
+) -> dict[tuple[float, float], YieldCurve]:
+    """The full Fig. 4 grid: one yield curve per (step, sigma) combination.
+
+    Returns
+    -------
+    dict
+        Mapping ``(step_ghz, sigma_ghz) -> YieldCurve``.
+    """
+    lattices: dict[int, HeavyHexLattice] = {}
+    curves: dict[tuple[float, float], YieldCurve] = {}
+    for step in steps_ghz:
+        for sigma in sigmas_ghz:
+            curves[(step, sigma)] = yield_vs_qubits(
+                sigma_ghz=sigma,
+                step_ghz=step,
+                sizes=sizes,
+                batch_size=batch_size,
+                seed=seed,
+                lattices=lattices,
+            )
+    return curves

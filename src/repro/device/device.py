@@ -1,0 +1,199 @@
+"""The physical-device abstraction used by the evaluation pipeline.
+
+A :class:`Device` bundles a coupling map, per-qubit frequencies and per-edge
+two-qubit gate infidelities.  Both fabricated monolithic chips and assembled
+multi-chip modules are represented by the same class; MCMs simply flag some
+couplings as inter-chip links (carrying link-quality error rates).
+
+The compiler consumes the coupling map; the fidelity and application
+analyses consume the error map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.frequencies import FrequencyAllocation
+from repro.device.noise import EmpiricalCXModel, LinkErrorModel
+from repro.device.qubit import PhysicalQubit
+from repro.topology.coupling import CouplingMap
+
+__all__ = ["Device"]
+
+
+def _normalise_edge(edge: tuple[int, int]) -> tuple[int, int]:
+    u, v = edge
+    return (min(u, v), max(u, v))
+
+
+@dataclass
+class Device:
+    """A quantum device ready for compilation and fidelity analysis.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    coupling:
+        Qubit connectivity (including inter-chip link flags for MCMs).
+    frequencies_ghz:
+        Actual per-qubit frequencies.
+    labels:
+        Per-qubit frequency labels (0/1/2).
+    edge_errors:
+        Two-qubit gate infidelity for every coupling.
+    metadata:
+        Free-form details (chiplet size, MCM dimensions, ...).
+    """
+
+    name: str
+    coupling: CouplingMap
+    frequencies_ghz: np.ndarray
+    labels: np.ndarray
+    edge_errors: dict[tuple[int, int], float]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.frequencies_ghz = np.asarray(self.frequencies_ghz, dtype=float)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.frequencies_ghz.shape[0] != self.coupling.num_qubits:
+            raise ValueError("frequency array does not match the qubit count")
+        if self.labels.shape[0] != self.coupling.num_qubits:
+            raise ValueError("label array does not match the qubit count")
+        self.edge_errors = {
+            _normalise_edge(edge): float(error)
+            for edge, error in self.edge_errors.items()
+        }
+        missing = set(self.coupling.edges) - set(self.edge_errors)
+        if missing:
+            raise ValueError(f"missing error rates for couplings: {sorted(missing)[:5]}")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_allocation(
+        cls,
+        name: str,
+        allocation: FrequencyAllocation,
+        frequencies_ghz: np.ndarray,
+        cx_model: EmpiricalCXModel,
+        rng: np.random.Generator,
+        link_edges: frozenset[tuple[int, int]] = frozenset(),
+        link_model: LinkErrorModel | None = None,
+        metadata: dict | None = None,
+    ) -> "Device":
+        """Build a device by assigning errors from the empirical models.
+
+        On-chip couplings draw their infidelity from the detuning-matched
+        bin of ``cx_model``; inter-chip links (if any) draw from
+        ``link_model``.
+        """
+        edges = [
+            (int(min(c, t)), int(max(c, t))) for c, t in allocation.directed_edges
+        ]
+        coupling = CouplingMap(
+            num_qubits=allocation.num_qubits, edges=edges, link_edges=link_edges
+        )
+        frequencies = np.asarray(frequencies_ghz, dtype=float)
+        errors: dict[tuple[int, int], float] = {}
+        for edge in coupling.edges:
+            u, v = edge
+            if coupling.is_link(u, v):
+                if link_model is None:
+                    raise ValueError("link_model is required when link edges exist")
+                errors[edge] = float(link_model.sample(rng))
+            else:
+                detuning = abs(frequencies[u] - frequencies[v])
+                errors[edge] = cx_model.sample(detuning, rng)
+        return cls(
+            name=name,
+            coupling=coupling,
+            frequencies_ghz=frequencies,
+            labels=allocation.labels.copy(),
+            edge_errors=errors,
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits."""
+        return self.coupling.num_qubits
+
+    @property
+    def num_edges(self) -> int:
+        """Number of couplings."""
+        return self.coupling.num_edges
+
+    @property
+    def num_link_edges(self) -> int:
+        """Number of inter-chip link couplings (0 for monolithic devices)."""
+        return len(self.coupling.link_edges)
+
+    def qubit(self, index: int) -> PhysicalQubit:
+        """Return a :class:`PhysicalQubit` record for one qubit."""
+        label = int(self.labels[index])
+        return PhysicalQubit(
+            index=index,
+            frequency_ghz=float(self.frequencies_ghz[index]),
+            ideal_frequency_ghz=float(self.frequencies_ghz[index]),
+            label=label,
+        )
+
+    def error_for(self, u: int, v: int) -> float:
+        """Two-qubit gate infidelity of the coupling between ``u`` and ``v``."""
+        return self.edge_errors[_normalise_edge((u, v))]
+
+    def detuning_for(self, u: int, v: int) -> float:
+        """Absolute frequency detuning between two coupled qubits."""
+        return abs(float(self.frequencies_ghz[u] - self.frequencies_ghz[v]))
+
+    def average_two_qubit_error(self) -> float:
+        """Average infidelity over every coupling (the paper's ``E_avg``)."""
+        return float(np.mean(list(self.edge_errors.values())))
+
+    def average_on_chip_error(self) -> float:
+        """Average infidelity over intra-chip couplings only."""
+        values = [
+            error
+            for edge, error in self.edge_errors.items()
+            if not self.coupling.is_link(*edge)
+        ]
+        return float(np.mean(values)) if values else 0.0
+
+    def average_link_error(self) -> float:
+        """Average infidelity over inter-chip link couplings only."""
+        values = [
+            error
+            for edge, error in self.edge_errors.items()
+            if self.coupling.is_link(*edge)
+        ]
+        return float(np.mean(values)) if values else 0.0
+
+    def best_edges(self, count: int) -> list[tuple[tuple[int, int], float]]:
+        """The ``count`` lowest-error couplings as ``(edge, error)`` pairs."""
+        ranked = sorted(self.edge_errors.items(), key=lambda item: item[1])
+        return ranked[:count]
+
+    def with_scaled_link_errors(self, factor: float) -> "Device":
+        """Return a copy with every link error multiplied by ``factor``.
+
+        Convenience for the Fig. 9 link-improvement scenarios.
+        """
+        errors = {
+            edge: error * factor if self.coupling.is_link(*edge) else error
+            for edge, error in self.edge_errors.items()
+        }
+        return Device(
+            name=self.name,
+            coupling=self.coupling,
+            frequencies_ghz=self.frequencies_ghz.copy(),
+            labels=self.labels.copy(),
+            edge_errors=errors,
+            metadata=dict(self.metadata),
+        )

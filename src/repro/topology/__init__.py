@@ -1,0 +1,29 @@
+"""Qubit-topology substrate: heavy-hex lattices, coupling maps, graph metrics."""
+
+from repro.topology.coupling import CouplingMap
+from repro.topology.heavy_hex import (
+    HeavyHexLattice,
+    QubitSite,
+    build_heavy_hex,
+    heavy_hex_by_qubit_count,
+    heavy_hex_qubit_count,
+)
+from repro.topology.metrics import (
+    average_degree,
+    degree_histogram,
+    densest_connected_subgraph,
+    graph_diameter,
+)
+
+__all__ = [
+    "CouplingMap",
+    "HeavyHexLattice",
+    "QubitSite",
+    "build_heavy_hex",
+    "heavy_hex_by_qubit_count",
+    "heavy_hex_qubit_count",
+    "average_degree",
+    "degree_histogram",
+    "densest_connected_subgraph",
+    "graph_diameter",
+]

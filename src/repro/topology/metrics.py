@@ -1,0 +1,83 @@
+"""Graph metrics for qubit topologies.
+
+Helpers used by the evaluation harness to characterise lattices and MCMs:
+degree histograms, diameters, and connected-subgraph extraction for
+benchmark layout (the paper sizes benchmarks at 80 % device utilisation, so
+the compiler needs a connected region of that size).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import networkx as nx
+
+__all__ = [
+    "degree_histogram",
+    "average_degree",
+    "graph_diameter",
+    "densest_connected_subgraph",
+]
+
+
+def degree_histogram(graph: nx.Graph) -> dict[int, int]:
+    """Map degree -> number of nodes with that degree."""
+    return dict(Counter(dict(graph.degree).values()))
+
+
+def average_degree(graph: nx.Graph) -> float:
+    """Mean node degree of the graph (0.0 for an empty graph)."""
+    if graph.number_of_nodes() == 0:
+        return 0.0
+    return 2.0 * graph.number_of_edges() / graph.number_of_nodes()
+
+
+def graph_diameter(graph: nx.Graph) -> int:
+    """Diameter of a connected graph (raises for disconnected graphs)."""
+    return nx.diameter(graph)
+
+
+def densest_connected_subgraph(graph: nx.Graph, size: int, seed: int | None = None) -> list[int]:
+    """Greedy connected subgraph of ``size`` nodes with many internal edges.
+
+    Starting from the highest-degree node (or a seed node), repeatedly add the
+    frontier node with the most neighbours already inside the subgraph.  This
+    is the structure the layout pass uses to place a benchmark that occupies a
+    fraction of the device.
+
+    Parameters
+    ----------
+    graph:
+        Connected coupling graph.
+    size:
+        Number of nodes requested (must not exceed the graph order).
+    seed:
+        Optional start node; defaults to a maximum-degree node.
+    """
+    if size > graph.number_of_nodes():
+        raise ValueError("requested subgraph is larger than the graph")
+    if size <= 0:
+        return []
+
+    if seed is None:
+        seed = max(graph.nodes, key=lambda n: (graph.degree[n], -n))
+    chosen = {seed}
+    frontier = set(graph.neighbors(seed))
+    while len(chosen) < size:
+        if not frontier:
+            # Disconnected remainder: jump to the best unchosen node.
+            remaining = [n for n in graph.nodes if n not in chosen]
+            if not remaining:
+                break
+            best = max(remaining, key=lambda n: graph.degree[n])
+            chosen.add(best)
+            frontier.update(set(graph.neighbors(best)) - chosen)
+            continue
+        best = max(
+            frontier,
+            key=lambda n: (sum(1 for m in graph.neighbors(n) if m in chosen), graph.degree[n], -n),
+        )
+        frontier.discard(best)
+        chosen.add(best)
+        frontier.update(set(graph.neighbors(best)) - chosen)
+    return sorted(chosen)

@@ -1,0 +1,159 @@
+"""Tests for KGD binning and MCM assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assembly import (
+    BUMPS_PER_LINK_QUBIT,
+    C4_BUMP_SUCCESS_PROBABILITY,
+    assemble_mcms,
+    bump_bond_success_probability,
+    fabricate_chiplet_bin,
+    post_assembly_yield,
+)
+from repro.core.collisions import has_collision
+from repro.core.fabrication import FabricationModel
+from repro.core.mcm import MCMDesign
+
+
+@pytest.fixture(scope="module")
+def bin_20(cx_model, fabrication):
+    from repro.core.chiplet import ChipletDesign
+
+    design = ChipletDesign.build(20)
+    rng = np.random.default_rng(77)
+    return fabricate_chiplet_bin(design, fabrication, cx_model, 600, rng)
+
+
+class TestFabricateChipletBin:
+    def test_yield_in_expected_range(self, bin_20):
+        assert 0.5 < bin_20.collision_free_yield < 0.9
+        assert bin_20.num_collision_free == len(bin_20.chiplets)
+
+    def test_bin_is_sorted_best_first(self, bin_20):
+        errors = [c.average_error for c in bin_20.chiplets]
+        assert errors == sorted(errors)
+
+    def test_every_survivor_is_collision_free(self, bin_20):
+        design = bin_20.design
+        for chiplet in bin_20.chiplets[:25]:
+            assert not has_collision(design.allocation, chiplet.frequencies_ghz)
+
+    def test_edge_errors_cover_every_coupling(self, bin_20):
+        edges = set(bin_20.design.edges())
+        for chiplet in bin_20.chiplets[:10]:
+            assert set(chiplet.edge_errors) == edges
+            assert all(0 < e < 1 for e in chiplet.edge_errors.values())
+
+    def test_zero_survivors_with_terrible_precision(self, cx_model):
+        from repro.core.chiplet import ChipletDesign
+
+        design = ChipletDesign.build(60)
+        rng = np.random.default_rng(3)
+        bad = fabricate_chiplet_bin(design, FabricationModel(0.3), cx_model, 40, rng)
+        assert bad.num_collision_free <= 2
+
+
+class TestBumpBondYield:
+    def test_single_qubit_bond_probability(self):
+        probability = bump_bond_success_probability(1)
+        assert probability == pytest.approx(C4_BUMP_SUCCESS_PROBABILITY**BUMPS_PER_LINK_QUBIT)
+
+    def test_more_link_qubits_lower_probability(self):
+        assert bump_bond_success_probability(100) < bump_bond_success_probability(10)
+
+    def test_failure_multiplier(self):
+        base = bump_bond_success_probability(50)
+        amplified = bump_bond_success_probability(50, failure_multiplier=100.0)
+        assert amplified < base
+        assert amplified > 0.9  # still a small effect, as the paper observes
+
+    def test_zero_links_is_certain(self):
+        assert bump_bond_success_probability(0) == pytest.approx(1.0)
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            bump_bond_success_probability(5, bump_success=1.5)
+
+
+class TestAssembleMCMs:
+    def test_assembles_collision_free_modules(self, bin_20, link_model):
+        design = MCMDesign.build(bin_20.design, 2, 2)
+        rng = np.random.default_rng(11)
+        result = assemble_mcms(bin_20, design, link_model, rng)
+        assert result.num_mcms > 0
+        assert result.chiplets_used == result.num_mcms * design.num_chips
+        for mcm in result.mcms[:5]:
+            assert not has_collision(design.allocation, mcm.frequencies_ghz)
+
+    def test_every_module_has_full_error_map(self, bin_20, link_model):
+        design = MCMDesign.build(bin_20.design, 2, 2)
+        rng = np.random.default_rng(12)
+        result = assemble_mcms(bin_20, design, link_model, rng, max_mcms=3)
+        coupling = design.coupling_map()
+        for mcm in result.mcms:
+            assert set(mcm.edge_errors) == set(coupling.edges)
+
+    def test_link_errors_are_worse_on_average(self, bin_20, link_model):
+        design = MCMDesign.build(bin_20.design, 2, 2)
+        rng = np.random.default_rng(13)
+        result = assemble_mcms(bin_20, design, link_model, rng, max_mcms=10)
+        device = result.mcms[0].to_device()
+        assert device.average_link_error() > device.average_on_chip_error()
+
+    def test_max_mcms_cap(self, bin_20, link_model):
+        design = MCMDesign.build(bin_20.design, 2, 2)
+        rng = np.random.default_rng(14)
+        result = assemble_mcms(bin_20, design, link_model, rng, max_mcms=2)
+        assert result.num_mcms == 2
+
+    def test_best_chiplets_are_used_first(self, bin_20, link_model):
+        design = MCMDesign.build(bin_20.design, 2, 2)
+        rng = np.random.default_rng(15)
+        result = assemble_mcms(bin_20, design, link_model, rng)
+        averages = [m.average_error for m in result.mcms]
+        # The first module (built from the best chiplets) should be among the
+        # best of the whole assembled population.
+        assert averages[0] <= np.percentile(averages, 30)
+
+    def test_mismatched_chiplet_size_rejected(self, bin_20, link_model, chiplet_10):
+        wrong_design = MCMDesign.build(chiplet_10, 2, 2)
+        with pytest.raises(ValueError):
+            assemble_mcms(bin_20, wrong_design, link_model, np.random.default_rng(0))
+
+    def test_to_device_metadata(self, bin_20, link_model):
+        design = MCMDesign.build(bin_20.design, 2, 2)
+        rng = np.random.default_rng(16)
+        result = assemble_mcms(bin_20, design, link_model, rng, max_mcms=1)
+        device = result.mcms[0].to_device("my-mcm")
+        assert device.name == "my-mcm"
+        assert device.metadata["chiplet_size"] == 20
+        assert device.metadata["grid"] == (2, 2)
+        assert device.num_link_edges == design.num_links
+
+
+class TestPostAssemblyYield:
+    def test_yield_below_chiplet_utilisation(self, bin_20, link_model):
+        design = MCMDesign.build(bin_20.design, 2, 2)
+        rng = np.random.default_rng(17)
+        result = assemble_mcms(bin_20, design, link_model, rng)
+        overall = post_assembly_yield(result, bin_20.batch_size)
+        utilisation = result.chiplets_used / bin_20.batch_size
+        assert overall <= utilisation
+        assert overall == pytest.approx(utilisation, rel=1e-3)  # bonding loss is tiny
+
+    def test_amplified_failure_lowers_yield(self, bin_20, link_model):
+        design = MCMDesign.build(bin_20.design, 2, 2)
+        rng = np.random.default_rng(18)
+        result = assemble_mcms(bin_20, design, link_model, rng)
+        base = post_assembly_yield(result, bin_20.batch_size)
+        amplified = post_assembly_yield(result, bin_20.batch_size, failure_multiplier=100.0)
+        assert amplified < base
+
+    def test_rejects_bad_batch(self, bin_20, link_model):
+        design = MCMDesign.build(bin_20.design, 2, 2)
+        result = assemble_mcms(bin_20, design, link_model, np.random.default_rng(19), max_mcms=1)
+        with pytest.raises(ValueError):
+            post_assembly_yield(result, 0)

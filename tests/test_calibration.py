@@ -1,0 +1,84 @@
+"""Tests for the synthetic calibration-data generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device.calibration import (
+    IBM_PROCESSORS,
+    SyntheticCalibrationGenerator,
+    washington_cx_model,
+)
+
+
+@pytest.fixture(scope="module")
+def generator() -> SyntheticCalibrationGenerator:
+    return SyntheticCalibrationGenerator()
+
+
+@pytest.fixture(scope="module")
+def washington_dataset(generator):
+    return generator.generate(127, name="Washington", seed=11)
+
+
+class TestSyntheticCalibration:
+    def test_processor_table(self):
+        assert IBM_PROCESSORS["Auckland"]["qubits"] == 27
+        assert IBM_PROCESSORS["Brooklyn"]["qubits"] == 65
+        assert IBM_PROCESSORS["Washington"]["qubits"] == 127
+
+    def test_dataset_shape(self, washington_dataset):
+        assert washington_dataset.num_cycles == 15
+        edges_per_cycle = {len(s.edges) for s in washington_dataset.snapshots}
+        assert len(edges_per_cycle) == 1
+
+    def test_washington_median_matches_paper(self, washington_dataset):
+        assert washington_dataset.median_infidelity() == pytest.approx(0.012, abs=0.002)
+
+    def test_washington_mean_matches_paper(self, washington_dataset):
+        assert washington_dataset.mean_infidelity() == pytest.approx(0.018, abs=0.004)
+
+    def test_infidelities_are_physical(self, washington_dataset):
+        values = washington_dataset.all_infidelities()
+        assert np.all(values > 0)
+        assert np.all(values < 1)
+
+    def test_median_grows_with_device_size(self, generator):
+        suite = generator.generate_processor_suite(seed=11)
+        medians = [suite[n].median_infidelity() for n in ("Auckland", "Brooklyn", "Washington")]
+        assert medians[0] < medians[1] < medians[2]
+
+    def test_spread_grows_with_device_size(self, generator):
+        suite = generator.generate_processor_suite(seed=11)
+        iqrs = [suite[n].infidelity_iqr() for n in ("Auckland", "Brooklyn", "Washington")]
+        assert iqrs[0] < iqrs[2]
+
+    def test_seeded_generation_is_reproducible(self, generator):
+        a = generator.generate(27, seed=5).median_infidelity()
+        b = generator.generate(27, seed=5).median_infidelity()
+        assert a == pytest.approx(b)
+
+    def test_edge_averages_one_point_per_coupling(self, washington_dataset):
+        detunings, averages = washington_dataset.edge_averages()
+        assert detunings.shape == averages.shape
+        assert detunings.shape[0] == len(washington_dataset.snapshots[0].edges)
+
+    def test_snapshot_median(self, washington_dataset):
+        snapshot = washington_dataset.snapshots[0]
+        assert snapshot.median_infidelity() == pytest.approx(np.median(snapshot.infidelities()))
+
+
+class TestWashingtonCXModel:
+    def test_model_statistics(self, cx_model):
+        assert cx_model.median() == pytest.approx(0.012, abs=0.003)
+        assert 0.012 < cx_model.mean() < 0.025
+
+    def test_model_has_multiple_bins(self, cx_model):
+        assert len(cx_model.bins) >= 3
+
+    def test_near_null_bin_is_worst(self, cx_model):
+        """Error near zero detuning exceeds error in the sweet-spot bins."""
+        means = cx_model.bin_means()
+        centres = sorted(means)
+        assert means[centres[0]] > min(means.values()) * 0.99

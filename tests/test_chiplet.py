@@ -1,0 +1,67 @@
+"""Tests for chiplet designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chiplet import ChipletDesign, PAPER_CHIPLET_SIZES
+from repro.core.collisions import has_collision
+from repro.core.frequencies import FrequencySpec
+
+
+class TestPaperSizes:
+    def test_paper_lists_nine_sizes(self):
+        assert PAPER_CHIPLET_SIZES == (10, 20, 40, 60, 90, 120, 160, 200, 250)
+
+    @pytest.mark.parametrize("size", PAPER_CHIPLET_SIZES)
+    def test_every_paper_chiplet_builds(self, size):
+        design = ChipletDesign.build(size)
+        assert design.num_qubits == size
+        assert design.lattice.is_connected()
+        assert not has_collision(design.allocation, design.allocation.ideal_frequencies)
+
+
+class TestChipletDesign:
+    def test_name_defaults_to_size(self, chiplet_20):
+        assert chiplet_20.name == "chiplet-20"
+
+    def test_custom_spec_is_used(self):
+        spec = FrequencySpec(step_ghz=0.05)
+        design = ChipletDesign.build(20, spec=spec)
+        assert design.allocation.spec.step_ghz == pytest.approx(0.05)
+
+    def test_edges_match_lattice(self, chiplet_20):
+        assert chiplet_20.num_edges == chiplet_20.lattice.num_edges
+        assert set(chiplet_20.edges()) == set(chiplet_20.lattice.edges)
+
+    def test_control_target_labels_consistency(self, chiplet_20):
+        targets = chiplet_20.control_target_labels()
+        labels = chiplet_20.labels
+        for control, target_labels in targets.items():
+            # Controls always carry the highest label among their couplings.
+            assert all(labels[control] > l for l in target_labels)
+            # A control never drives two targets with the same label.
+            assert len(set(target_labels)) == len(target_labels)
+
+    def test_boundary_sides(self, chiplet_20):
+        for side in ("left", "right", "top", "bottom"):
+            boundary = chiplet_20.boundary_qubits(side)
+            assert boundary, f"boundary {side} should not be empty"
+            for qubit in boundary.values():
+                assert 0 <= qubit < chiplet_20.num_qubits
+
+    def test_boundary_unknown_side(self, chiplet_20):
+        with pytest.raises(ValueError):
+            chiplet_20.boundary_qubits("diagonal")
+
+    def test_left_right_boundaries_keyed_by_row(self, chiplet_20):
+        left = chiplet_20.boundary_qubits("left")
+        right = chiplet_20.boundary_qubits("right")
+        for row, qubit in left.items():
+            assert chiplet_20.lattice.site(qubit).row == row
+        assert set(left) == set(right)
+
+    def test_boundaries_cached_copy(self, chiplet_20):
+        a = chiplet_20.boundary_qubits("right")
+        a[999] = 0  # mutating the returned dict must not corrupt the cache
+        assert 999 not in chiplet_20.boundary_qubits("right")

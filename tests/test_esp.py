@@ -1,0 +1,69 @@
+"""Tests for the fidelity-product (ESP) figure of merit."""
+
+from __future__ import annotations
+
+from math import inf, log10
+
+import numpy as np
+import pytest
+
+from repro.simulation.esp import fidelity_product, fidelity_ratio
+
+
+class TestFidelityProduct:
+    def test_simple_product(self):
+        errors = {(0, 1): 0.01, (1, 2): 0.02}
+        score = fidelity_product([(0, 1), (1, 2), (0, 1)], errors)
+        expected = log10(0.99) + log10(0.98) + log10(0.99)
+        assert score.log10_fidelity == pytest.approx(expected)
+        assert score.num_two_qubit_gates == 3
+        assert score.fidelity == pytest.approx(0.99 * 0.98 * 0.99)
+
+    def test_edge_orientation_is_ignored(self):
+        errors = {(1, 0): 0.05}
+        score = fidelity_product([(0, 1)], errors)
+        assert score.log10_fidelity == pytest.approx(log10(0.95))
+
+    def test_empty_circuit_has_unit_fidelity(self):
+        score = fidelity_product([], {})
+        assert score.log10_fidelity == pytest.approx(0.0)
+        assert score.fidelity == pytest.approx(1.0)
+
+    def test_fully_depolarising_edge(self):
+        score = fidelity_product([(0, 1)], {(0, 1): 1.0})
+        assert score.log10_fidelity == -inf
+        assert score.fidelity == 0.0
+
+    def test_device_input(self, small_study):
+        mcm = small_study.mcm_result(20, (2, 2))
+        device = mcm.best_device
+        edges = list(device.edge_errors)[:10]
+        score = fidelity_product(edges, device)
+        assert score.log10_fidelity < 0
+        assert score.num_two_qubit_gates == 10
+
+    def test_missing_edge_raises(self):
+        with pytest.raises(KeyError):
+            fidelity_product([(0, 2)], {(0, 1): 0.01})
+
+
+class TestFidelityRatio:
+    def test_ratio_in_log_space(self):
+        mcm = fidelity_product([(0, 1)] * 10, {(0, 1): 0.01})
+        mono = fidelity_product([(0, 1)] * 10, {(0, 1): 0.02})
+        ratio = fidelity_ratio(mcm, mono)
+        assert ratio == pytest.approx((0.99 / 0.98) ** 10)
+
+    def test_zero_yield_monolith_gives_infinity(self):
+        mcm = fidelity_product([(0, 1)], {(0, 1): 0.01})
+        assert fidelity_ratio(mcm, None) == inf
+
+    def test_dead_monolith_gives_infinity(self):
+        mcm = fidelity_product([(0, 1)], {(0, 1): 0.01})
+        mono = fidelity_product([(0, 1)], {(0, 1): 1.0})
+        assert fidelity_ratio(mcm, mono) == inf
+
+    def test_huge_difference_saturates_to_infinity(self):
+        mcm = fidelity_product([], {})
+        mono = fidelity_product([(0, 1)] * 200_000, {(0, 1): 0.02})
+        assert fidelity_ratio(mcm, mono) == inf

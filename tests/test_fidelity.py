@@ -1,0 +1,64 @@
+"""Tests for the E_avg comparison machinery and link scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fidelity import (
+    EavgComparison,
+    average_infidelity,
+    default_link_scenarios,
+    infidelity_ratio,
+)
+from repro.device.noise import ON_CHIP_MEAN_INFIDELITY
+
+
+class TestLinkScenarios:
+    def test_four_scenarios_by_default(self):
+        scenarios = default_link_scenarios()
+        assert len(scenarios) == 4
+        assert scenarios[0].name == "state-of-art"
+
+    def test_state_of_art_ratio(self):
+        scenarios = default_link_scenarios()
+        assert scenarios[0].ratio == pytest.approx(4.17, abs=0.1)
+
+    def test_improved_scenarios_match_requested_ratio(self):
+        for scenario in default_link_scenarios()[1:]:
+            assert scenario.link_model.mean == pytest.approx(
+                scenario.ratio * ON_CHIP_MEAN_INFIDELITY, rel=1e-9
+            )
+
+    def test_scenarios_are_ordered_by_decreasing_link_error(self):
+        means = [s.link_model.mean for s in default_link_scenarios()]
+        assert means == sorted(means, reverse=True)
+
+
+class TestAverages:
+    def test_average_infidelity(self):
+        assert average_infidelity([0.01, 0.03]) == pytest.approx(0.02)
+
+    def test_average_infidelity_empty(self):
+        assert np.isnan(average_infidelity([]))
+
+    def test_infidelity_ratio(self):
+        assert infidelity_ratio(0.01, 0.02) == pytest.approx(0.5)
+
+    def test_infidelity_ratio_zero_yield(self):
+        assert np.isnan(infidelity_ratio(0.01, float("nan")))
+        assert np.isnan(infidelity_ratio(0.01, 0.0))
+
+
+class TestEavgComparison:
+    def test_mcm_wins_flag(self):
+        win = EavgComparison(20, (3, 3), 180, "state-of-art", 0.017, 0.018)
+        lose = EavgComparison(10, (2, 2), 40, "state-of-art", 0.022, 0.018)
+        assert win.mcm_wins
+        assert win.ratio < 1
+        assert not lose.mcm_wins
+
+    def test_zero_yield_monolith_never_wins_flag(self):
+        cell = EavgComparison(20, (5, 5), 500, "state-of-art", 0.017, float("nan"))
+        assert np.isnan(cell.ratio)
+        assert not cell.mcm_wins

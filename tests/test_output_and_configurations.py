@@ -1,0 +1,114 @@
+"""Tests for the fabrication-output model (Eq. 1) and configuration counting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configurations import (
+    configuration_curve,
+    log10_configurations,
+    max_assembled_mcms,
+)
+from repro.core.output_model import (
+    compare_fabrication_output,
+    mcm_output_upper_bound,
+    monolithic_output,
+)
+
+
+class TestOutputModel:
+    def test_paper_worked_example(self):
+        """Section V-C: Y_m=0.11, Y_c=0.85, B=1000, 2x5 MCMs -> ~7.7x gain."""
+        comparison = compare_fabrication_output(
+            monolithic_yield=0.11,
+            chiplet_yield=0.85,
+            batch_size=1000,
+            monolithic_qubits=100,
+            chiplet_qubits=10,
+            grid_rows=2,
+            grid_cols=5,
+        )
+        assert comparison.monolithic_devices == pytest.approx(110)
+        assert comparison.mcm_devices == pytest.approx(850)
+        assert comparison.gain == pytest.approx(7.7, abs=0.05)
+
+    def test_equation_one(self):
+        assert mcm_output_upper_bound(0.85, 1000, 100, 10, 2, 5) == pytest.approx(850)
+
+    def test_zero_monolithic_yield_gives_infinite_gain(self):
+        comparison = compare_fabrication_output(0.0, 0.5, 1000, 100, 10, 2, 5)
+        assert comparison.gain == float("inf")
+
+    def test_qubit_budget_must_match(self):
+        with pytest.raises(ValueError):
+            compare_fabrication_output(0.1, 0.8, 1000, 100, 10, 2, 4)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            mcm_output_upper_bound(1.5, 1000, 100, 10, 2, 5)
+        with pytest.raises(ValueError):
+            monolithic_output(0.5, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        chiplet_yield=st.floats(min_value=0.01, max_value=1.0),
+        chiplet_qubits=st.sampled_from([10, 20, 25, 50]),
+        grid=st.sampled_from([(2, 2), (2, 5), (1, 4)]),
+    )
+    def test_property_output_scales_linearly_with_yield(
+        self, chiplet_yield, chiplet_qubits, grid
+    ):
+        monolithic_qubits = chiplet_qubits * grid[0] * grid[1]
+        full = mcm_output_upper_bound(1.0, 1000, monolithic_qubits, chiplet_qubits, *grid)
+        partial = mcm_output_upper_bound(
+            chiplet_yield, 1000, monolithic_qubits, chiplet_qubits, *grid
+        )
+        assert partial == pytest.approx(full * chiplet_yield)
+
+
+class TestConfigurations:
+    def test_small_exact_values(self):
+        # P(5, 2) = 20.
+        assert 10 ** log10_configurations(5, 2) == pytest.approx(20, rel=1e-9)
+        # P(4, 4) = 24.
+        assert 10 ** log10_configurations(4, 4) == pytest.approx(24, rel=1e-9)
+
+    def test_more_slots_than_chiplets(self):
+        assert log10_configurations(3, 5) == float("-inf")
+
+    def test_max_assembled_mcms(self):
+        assert max_assembled_mcms(69_421, 4) == 17_355
+        assert max_assembled_mcms(69_421, 49) == 1416
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log10_configurations(-1, 2)
+        with pytest.raises(ValueError):
+            max_assembled_mcms(10, 0)
+
+    def test_configuration_curve_matches_paper_setup(self):
+        points = configuration_curve(chiplet_yield=0.694, batch_size=100_000)
+        assert [p.grid for p in points] == [(m, m) for m in range(2, 8)]
+        assert points[0].mcm_qubits == 80
+        # Configurations grow factorially while assembled modules shrink.
+        log_configs = [p.log10_configurations for p in points]
+        assert log_configs == sorted(log_configs)
+        max_mcms = [p.max_mcms for p in points]
+        assert max_mcms == sorted(max_mcms, reverse=True)
+
+    def test_configuration_curve_validation(self):
+        with pytest.raises(ValueError):
+            configuration_curve(chiplet_yield=1.2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        available=st.integers(min_value=1, max_value=10_000),
+        slots=st.integers(min_value=1, max_value=60),
+    )
+    def test_property_counts_are_consistent(self, available, slots):
+        mcms = max_assembled_mcms(available, slots)
+        assert mcms * slots <= available
+        if slots <= available:
+            assert log10_configurations(available, slots) >= 0.0

@@ -1,0 +1,46 @@
+"""Tests for report formatting and sweep helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.sweeps import grid_sweep, sweep_parameter
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        table = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_row_length_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+    def test_format_series(self):
+        text = format_series("yield", [(10, 0.8), (20, 0.7)])
+        assert text.splitlines()[0] == "yield"
+        assert "10: 0.8" in text
+
+
+class TestSweeps:
+    def test_grid_sweep_covers_cartesian_product(self):
+        records = grid_sweep({"a": [1, 2], "b": [10, 20]}, lambda a, b: a + b)
+        assert len(records) == 4
+        assert {r["result"] for r in records} == {11, 21, 12, 22}
+
+    def test_grid_sweep_preserves_parameters(self):
+        records = grid_sweep({"a": [3]}, lambda a: a * a)
+        assert records[0]["a"] == 3
+        assert records[0]["result"] == 9
+
+    def test_sweep_parameter(self):
+        assert sweep_parameter([1, 2, 3], lambda v: v * 10) == [(1, 10), (2, 20), (3, 30)]
