@@ -24,16 +24,21 @@ from repro.core.frequencies import FrequencySpec, allocate_heavy_hex_frequencies
 from repro.core.yield_model import simulate_yield
 
 
-def _chiplet_yield_for_step(step: float) -> float:
+def _chiplet_yield_for_step(step: float, seed: int = 17) -> float:
     design = ChipletDesign.build(20, spec=FrequencySpec(step_ghz=step))
-    rng = np.random.default_rng(17)
+    rng = np.random.default_rng(seed)
     return simulate_yield(
         design.allocation, FabricationModel(0.014), 1500, rng
     ).collision_free_yield
 
 
 def test_ablation_frequency_step(benchmark):
-    """Yield peaks near the paper's 0.06 GHz detuning step."""
+    """Yield peaks near the paper's 0.06 GHz detuning step.
+
+    The runner's fixed default seed gives every step the same frequency
+    draws (common random numbers), so the cross-step comparison is
+    sample-wise rather than merely statistical.
+    """
     steps = (0.03, 0.04, 0.05, 0.06, 0.07, 0.08)
     results = benchmark.pedantic(
         sweep_parameter, args=(steps, _chiplet_yield_for_step), rounds=1, iterations=1
@@ -45,7 +50,7 @@ def test_ablation_frequency_step(benchmark):
     assert yields[0.06] > yields[0.03]
 
 
-def _yield_for_threshold_scale(scale: float) -> float:
+def _yield_for_threshold_scale(scale: float, seed: int = 23) -> float:
     thresholds = CollisionThresholds(
         type1_ghz=0.017 * scale,
         type2_ghz=0.004 * scale,
@@ -57,14 +62,19 @@ def _yield_for_threshold_scale(scale: float) -> float:
     lattice_allocation = allocate_heavy_hex_frequencies(
         ChipletDesign.build(60).lattice
     )
-    rng = np.random.default_rng(23)
+    rng = np.random.default_rng(seed)
     return simulate_yield(
         lattice_allocation, FabricationModel(0.014), 1200, rng, thresholds=thresholds
     ).collision_free_yield
 
 
 def test_ablation_collision_thresholds(benchmark):
-    """Yield falls monotonically as the collision windows widen."""
+    """Yield falls monotonically as the collision windows widen.
+
+    Every scale reuses the runner's fixed default seed, so widening the
+    windows can only remove surviving devices — the monotonicity
+    assertion below is guaranteed, not statistical.
+    """
     scales = (0.5, 1.0, 1.5, 2.0)
     results = benchmark.pedantic(
         sweep_parameter, args=(scales, _yield_for_threshold_scale), rounds=1, iterations=1

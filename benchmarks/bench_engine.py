@@ -1,0 +1,88 @@
+"""E-ENG — the parallel experiment engine: sequential vs. parallel sweeps.
+
+Times the Fig. 4 Monte-Carlo grid on the sequential in-process backend and
+on the process-pool backend, verifies the two produce bit-identical yield
+numbers at the same seed, and writes the measurements to
+``benchmarks/BENCH_engine.json`` so CI can track the speedup over time.
+
+On a >= 4-core machine the parallel run is expected to be >= 2x faster.
+The determinism assertion always runs; the speedup assertion only fires
+with ``REPRO_BENCH_STRICT=1`` (one-shot wall-clock measurements are too
+noisy on shared CI runners to gate a build on by default — the JSON
+artifact records the number either way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import bench_batch_size, bench_jobs
+
+from repro.analysis.figures.fig4_yield import run_fig4_yield_sweep
+from repro.engine import ExecutionEngine
+
+RESULT_PATH = Path(__file__).parent / "BENCH_engine.json"
+
+SWEEP_KWARGS = dict(
+    steps_ghz=(0.04, 0.05, 0.06, 0.07),
+    sigmas_ghz=(0.1323, 0.014, 0.006),
+    sizes=(5, 10, 20, 40, 65, 100, 200, 300, 500),
+    seed=7,
+)
+
+
+def _timed_sweep(engine: ExecutionEngine | None, batch_size: int):
+    started = time.perf_counter()
+    result = run_fig4_yield_sweep(
+        **SWEEP_KWARGS, batch_size=batch_size, engine=engine
+    )
+    return result, time.perf_counter() - started
+
+
+def test_engine_parallel_sweep_matches_sequential_and_is_fast(benchmark):
+    """Parallel Fig. 4 sweeps are bit-identical to sequential, and faster
+    when the hardware has the cores to show it."""
+    cores = os.cpu_count() or 1
+    jobs = max(2, bench_jobs())
+    batch = min(bench_batch_size(1000), 2000)
+
+    sequential, seq_seconds = _timed_sweep(None, batch)
+    parallel_engine = ExecutionEngine(jobs=jobs, use_cache=False)
+    parallel, par_seconds = benchmark.pedantic(
+        lambda: _timed_sweep(parallel_engine, batch), rounds=1, iterations=1
+    )
+
+    assert parallel.curves.keys() == sequential.curves.keys()
+    for key in sequential.curves:
+        assert parallel.curves[key] == sequential.curves[key], key
+
+    speedup = seq_seconds / par_seconds if par_seconds > 0 else float("inf")
+    num_points = len(SWEEP_KWARGS["steps_ghz"]) * len(SWEEP_KWARGS["sigmas_ghz"]) * len(
+        SWEEP_KWARGS["sizes"]
+    )
+    record = {
+        "benchmark": "fig4_detuning_sweep",
+        "num_points": num_points,
+        "batch_size": batch,
+        "cores": cores,
+        "jobs": jobs,
+        "sequential_seconds": round(seq_seconds, 4),
+        "parallel_seconds": round(par_seconds, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+        "tasks_per_second_parallel": round(num_points / par_seconds, 2)
+        if par_seconds > 0
+        else None,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n[engine] sequential {seq_seconds:.2f}s, parallel {par_seconds:.2f}s "
+          f"({jobs} jobs on {cores} cores) -> speedup {speedup:.2f}x")
+    print(f"[engine] wrote {RESULT_PATH}")
+
+    if cores >= 4 and os.environ.get("REPRO_BENCH_STRICT", "0") == "1":
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup on {cores} cores, measured {speedup:.2f}x"
+        )

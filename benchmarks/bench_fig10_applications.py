@@ -16,7 +16,7 @@ from math import inf
 
 from conftest import full_run
 
-from repro.analysis.experiments import run_fig10_applications
+from repro.analysis.figures.fig10_apps import run_fig10_applications
 from repro.circuits.benchmarks import BENCHMARK_NAMES
 
 

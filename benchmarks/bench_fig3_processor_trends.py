@@ -7,7 +7,7 @@ and of its spread from the 27-qubit Falcon to the 127-qubit Eagle.
 
 from __future__ import annotations
 
-from repro.analysis.experiments import run_fig3_processor_trends
+from repro.analysis.figures.fig3_trends import run_fig3_processor_trends
 
 
 def test_fig3_cx_infidelity_vs_processor_size(benchmark):

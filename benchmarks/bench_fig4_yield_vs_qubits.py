@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from conftest import bench_batch_size, full_run
 
-from repro.analysis.experiments import run_fig4_yield_sweep
+from repro.analysis.figures.fig4_yield import run_fig4_yield_sweep
 
 
-def test_fig4_yield_vs_qubits_sweep(benchmark):
+def test_fig4_yield_vs_qubits_sweep(benchmark, engine):
     """Yield collapses with size; 0.06 GHz detuning and tighter sigma_f help."""
     sizes = (
         (5, 10, 16, 20, 27, 40, 65, 100, 127, 200, 300, 400, 500, 650, 800, 1000)
@@ -25,6 +25,7 @@ def test_fig4_yield_vs_qubits_sweep(benchmark):
             "sizes": sizes,
             "batch_size": min(bench_batch_size(1000), 2000),
             "seed": 7,
+            "engine": engine,
         },
         rounds=1,
         iterations=1,

@@ -8,13 +8,15 @@ possible chiplet placements and the maximum number of assembled modules.
 
 from __future__ import annotations
 
-from repro.analysis.experiments import run_fig6_configurations
+from repro.analysis.figures.fig6_configurations import run_fig6_configurations
 from repro.analysis.reporting import format_table
 
 
-def test_fig6_configurations_vs_mcm_size(benchmark):
+def test_fig6_configurations_vs_mcm_size(benchmark, engine):
     """Placements grow factorially while the assembled-module bound shrinks."""
-    points = benchmark(run_fig6_configurations, batch_size=100_000, max_grid=7, seed=7)
+    points = benchmark(
+        run_fig6_configurations, batch_size=100_000, max_grid=7, seed=7, engine=engine
+    )
 
     rows = [
         [f"{p.grid[0]}x{p.grid[1]}", p.mcm_qubits, f"{p.log10_configurations:.1f}", p.max_mcms]

@@ -7,7 +7,7 @@ and mean (the paper quotes 1.2 % / 1.8 %).
 
 from __future__ import annotations
 
-from repro.analysis.experiments import run_fig7_detuning_model
+from repro.analysis.figures.fig7_detuning import run_fig7_detuning_model
 
 
 def test_fig7_detuning_binned_cx_model(benchmark):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from math import inf
 
-from repro.analysis.experiments import run_fig8_yield_comparison
+from repro.analysis.figures.fig8_mcm import run_fig8_yield_comparison
 from repro.analysis.reporting import format_series
 
 

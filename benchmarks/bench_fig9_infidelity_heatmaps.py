@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.experiments import run_fig9_infidelity_heatmap
+from repro.analysis.figures.fig9_heatmaps import run_fig9_infidelity_heatmap
 
 
 def test_fig9_average_infidelity_heatmaps(benchmark, study):

@@ -9,14 +9,18 @@ from __future__ import annotations
 
 from conftest import bench_batch_size
 
-from repro.analysis.experiments import run_sec5c_fabrication_output
+from repro.analysis.figures.sec5c_output import run_sec5c_fabrication_output
 
 
-def test_sec5c_fabrication_output_gain(benchmark):
+def test_sec5c_fabrication_output_gain(benchmark, engine):
     """The MCM route manufactures several times more 100-qubit machines."""
     comparison = benchmark.pedantic(
         run_sec5c_fabrication_output,
-        kwargs={"batch_size": min(bench_batch_size(1000), 4000), "seed": 7},
+        kwargs={
+            "batch_size": min(bench_batch_size(1000), 4000),
+            "seed": 7,
+            "engine": engine,
+        },
         rounds=1,
         iterations=1,
     )

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.experiments import run_table1_collision_criteria
+from repro.analysis.figures.tables import run_table1_collision_criteria
 from repro.core.collisions import collision_free_mask
 from repro.core.fabrication import FabricationModel
 from repro.core.frequencies import allocate_heavy_hex_frequencies

@@ -10,15 +10,20 @@ from __future__ import annotations
 
 from conftest import full_run
 
-from repro.analysis.experiments import run_table2_compiled_benchmarks
+from repro.analysis.figures.tables import run_table2_compiled_benchmarks
 
 
-def test_table2_compiled_benchmark_details(benchmark):
+def test_table2_compiled_benchmark_details(benchmark, engine):
     """Gate counts grow with system size; routing dominates large systems."""
     chiplet_sizes = (10, 20, 40, 60, 90) if full_run() else (10, 20, 40)
     result = benchmark.pedantic(
         run_table2_compiled_benchmarks,
-        kwargs={"chiplet_sizes": chiplet_sizes, "utilisation": 0.8, "seed": 5},
+        kwargs={
+            "chiplet_sizes": chiplet_sizes,
+            "utilisation": 0.8,
+            "seed": 5,
+            "engine": engine,
+        },
         rounds=1,
         iterations=1,
     )

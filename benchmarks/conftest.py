@@ -14,6 +14,7 @@ import os
 import pytest
 
 from repro.analysis.study import ArchitectureStudy, StudyConfig
+from repro.engine import ExecutionEngine
 
 
 def bench_batch_size(default: int = 3000) -> int:
@@ -26,16 +27,31 @@ def full_run() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
+def bench_jobs() -> int:
+    """Worker processes for the engine (``REPRO_BENCH_JOBS``, default: all)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", os.cpu_count() or 1))
+
+
 @pytest.fixture(scope="session")
-def study() -> ArchitectureStudy:
-    """Architecture study shared by the Fig. 8 / Fig. 9 / Fig. 10 benchmarks."""
+def engine() -> ExecutionEngine:
+    """Shared execution engine (cache off so timings stay honest)."""
+    return ExecutionEngine(jobs=bench_jobs(), use_cache=False)
+
+
+@pytest.fixture(scope="session")
+def study(engine) -> ArchitectureStudy:
+    """Architecture study shared by the Fig. 8 / Fig. 9 / Fig. 10 benchmarks.
+
+    Carries the session engine, so the figure drivers prefetch chiplet
+    bins, assemblies and monolithic Monte-Carlo runs in parallel.
+    """
     batch = bench_batch_size()
     config = StudyConfig(
         chiplet_batch_size=batch,
         monolithic_batch_size=batch,
         seed=2022,
     )
-    return ArchitectureStudy(config)
+    return ArchitectureStudy(config, engine=engine)
 
 
 @pytest.fixture(scope="session")

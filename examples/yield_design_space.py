@@ -6,16 +6,23 @@ step, locates the precision needed to keep monolithic yield alive at
 1000 qubits, and quantifies the manufacturing-output gain of switching to
 chiplets for a 100-qubit machine.
 
+The sweep runs through the parallel experiment engine — the same path as
+``python -m repro run fig4 --jobs N`` — so it uses every available core
+and caches its Monte-Carlo points on disk for instant re-runs.
+
 Run with:  python examples/yield_design_space.py
 """
 
 from __future__ import annotations
 
-from repro.analysis.experiments import run_fig4_yield_sweep, run_sec5c_fabrication_output
+from repro.analysis.figures import run_fig4_yield_sweep, run_sec5c_fabrication_output
 from repro.analysis.reporting import format_table
+from repro.engine import ExecutionEngine
 
 
 def main() -> None:
+    engine = ExecutionEngine()  # all cores, on-disk cache under .repro_cache/
+
     # ------------------------------------------------------------------ #
     # Yield vs. size for three fabrication precisions and two step sizes
     # ------------------------------------------------------------------ #
@@ -26,6 +33,7 @@ def main() -> None:
         sizes=sizes,
         batch_size=800,
         seed=7,
+        engine=engine,
     )
     print("Collision-free yield vs. qubits (rows: detuning step / sigma_f):")
     print(sweep.format_table())
@@ -40,14 +48,14 @@ def main() -> None:
             sigma_needed = sigma
             break
     print(
-        "Smallest simulated sigma_f with non-zero yield at 1000 qubits: "
+        "Largest simulated sigma_f with non-zero yield at 1000 qubits: "
         f"{sigma_needed} GHz (paper argues sigma_f < 0.006 GHz is required)"
     )
 
     # ------------------------------------------------------------------ #
     # Fabrication output: 100-qubit monolith vs. 2x5 MCM of 10-qubit chiplets
     # ------------------------------------------------------------------ #
-    output = run_sec5c_fabrication_output(batch_size=1000, seed=7)
+    output = run_sec5c_fabrication_output(batch_size=1000, seed=7, engine=engine)
     print("\nManufacturing output from the same wafer budget (Section V-C):")
     print(
         format_table(
@@ -59,6 +67,7 @@ def main() -> None:
         )
     )
     print(f"Output gain: {output.gain:.2f}x (paper reports ~7.7x)")
+    print(f"\n[engine] {engine.stats.summary()}")
 
 
 if __name__ == "__main__":

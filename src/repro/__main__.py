@@ -1,0 +1,143 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands
+-----------
+``run <experiment>``
+    Regenerate one figure/table of the paper through the parallel
+    experiment engine.  ``--jobs N`` controls the worker-process count
+    (``1`` forces the sequential backend; results are bit-identical),
+    ``--seed S`` overrides the experiment's master seed, ``--no-cache``
+    bypasses the on-disk result cache and ``--batch B`` scales the
+    Monte-Carlo batches.
+``list``
+    Show every registered experiment.
+``cache clear``
+    Drop the on-disk result cache.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run fig4 --jobs 4 --seed 7
+    python -m repro run fig8 --jobs 4 --batch 2000
+    python -m repro cache clear
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.registry import EXPERIMENTS
+from repro.engine import ExecutionEngine, ResultCache
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures/tables on the parallel "
+        "experiment engine.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment name (see `list`)")
+    run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (default: all cores; 1 = sequential)",
+    )
+    run.add_argument(
+        "--seed", "-s", type=int, default=None, help="master seed override"
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache",
+    )
+    run.add_argument(
+        "--batch",
+        "-b",
+        type=int,
+        default=None,
+        help="Monte-Carlo batch size override",
+    )
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized configuration sweep (slow)",
+    )
+    run.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress the result table"
+    )
+
+    sub.add_parser("list", help="list registered experiments")
+
+    cache = sub.add_parser("cache", help="manage the on-disk result cache")
+    cache.add_argument("action", choices=("clear", "info"))
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max((len(name) for name in EXPERIMENTS.names()), default=0)
+    for spec in EXPERIMENTS.specs():
+        aliases = f"  (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"{spec.name:<{width}}  {spec.description}{aliases}")
+    return 0
+
+
+def _cmd_cache(action: str) -> int:
+    cache = ResultCache()
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+    else:
+        print(f"cache directory: {cache.directory}")
+        print(f"entries: {len(cache)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = EXPERIMENTS.get(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    engine = ExecutionEngine(jobs=args.jobs, use_cache=not args.no_cache)
+    started = time.perf_counter()
+    result, text = spec.runner(
+        engine, seed=args.seed, batch_size=args.batch, full=args.full
+    )
+    elapsed = time.perf_counter() - started
+
+    if not args.quiet:
+        print(f"[{spec.name}] {spec.description}")
+        print(text)
+    print(f"\n[engine] {engine.stats.summary()}")
+    print(f"[engine] experiment wall-clock: {elapsed:.2f}s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "cache":
+        return _cmd_cache(args.action)
+    if args.command == "run":
+        return _cmd_run(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

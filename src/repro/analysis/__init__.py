@@ -1,8 +1,15 @@
-"""Experiment harness: architecture studies, per-figure drivers, reporting."""
+"""Experiment harness: architecture studies, per-figure drivers, reporting.
 
-from repro.analysis.experiments import (
+The figure/table drivers live in :mod:`repro.analysis.figures` (one module
+per experiment) and run through the parallel execution engine
+(:mod:`repro.engine`); :mod:`repro.analysis.registry` maps experiment
+names to runners for the ``python -m repro`` CLI.
+"""
+
+from repro.analysis.figures import (
     Fig3Result,
     Fig4Result,
+    Fig7Result,
     Fig8Result,
     Fig9Result,
     Fig10Result,
@@ -26,6 +33,7 @@ from repro.analysis.sweeps import grid_sweep, sweep_parameter
 __all__ = [
     "Fig3Result",
     "Fig4Result",
+    "Fig7Result",
     "Fig8Result",
     "Fig9Result",
     "Fig10Result",

@@ -1,38 +1,68 @@
-"""Experiment drivers that regenerate every table and figure of the paper.
+"""Compatibility shim over the per-experiment modules.
 
-Each ``run_*`` function returns a small result object holding the rows or
-series the corresponding figure/table plots, plus a ``format_table`` helper
-so benchmarks and examples can print them.  The experiment <-> module map is
-documented in DESIGN.md; paper-vs-measured numbers live in EXPERIMENTS.md.
+The former 672-line monolith now lives in :mod:`repro.analysis.figures`,
+one module per figure/table, executed through the parallel experiment
+engine (:mod:`repro.engine`).  This module re-exports every historical
+name so existing imports — tests, benchmarks, examples, downstream
+notebooks — keep working unchanged.
+
+Prefer importing from the specific module (or running experiments via
+``python -m repro run <name>``) in new code:
+
+==============================  =========================================
+``repro.analysis.figures``      drivers & result types (see its docstring)
+``repro.analysis.registry``     name -> experiment registry for the CLI
+``repro.engine``                Task/TaskGraph, parallel runner, cache
+==============================  =========================================
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from math import inf
-
-import numpy as np
-
-from repro.analysis.reporting import format_table
-from repro.analysis.study import ArchitectureStudy, StudyConfig
-from repro.circuits.benchmarks import BENCHMARK_NAMES, build_benchmark
-from repro.compiler.transpile import transpile
-from repro.core.chiplet import ChipletDesign
-from repro.core.collisions import CollisionThresholds, find_collisions
-from repro.core.configurations import configuration_curve
-from repro.core.fabrication import (
+# The old monolith's module-level imports, kept importable from here for
+# backwards compatibility (they were reachable as
+# ``repro.analysis.experiments.<name>`` before the split).
+from repro.analysis.reporting import format_table  # noqa: F401
+from repro.analysis.study import ArchitectureStudy, StudyConfig  # noqa: F401
+from repro.circuits.benchmarks import BENCHMARK_NAMES, build_benchmark  # noqa: F401
+from repro.compiler.transpile import transpile  # noqa: F401
+from repro.core.chiplet import ChipletDesign  # noqa: F401
+from repro.core.collisions import CollisionThresholds, find_collisions  # noqa: F401
+from repro.core.configurations import configuration_curve  # noqa: F401
+from repro.core.fabrication import (  # noqa: F401
     FabricationModel,
     SIGMA_AS_FABRICATED_GHZ,
     SIGMA_LASER_TUNED_GHZ,
     SIGMA_SCALING_TARGET_GHZ,
 )
-from repro.core.frequencies import FrequencySpec, allocation_from_labels
-from repro.core.mcm import mcm_dimensions_for, square_dimensions_for
-from repro.core.output_model import compare_fabrication_output
-from repro.core.yield_model import detuning_sweep, yield_vs_qubits
-from repro.device.calibration import SyntheticCalibrationGenerator, washington_cx_model
-from repro.device.noise import EmpiricalCXModel
-from repro.simulation.esp import FidelityScore, fidelity_product, fidelity_ratio
+from repro.core.frequencies import FrequencySpec, allocation_from_labels  # noqa: F401
+from repro.core.mcm import mcm_dimensions_for, square_dimensions_for  # noqa: F401
+from repro.core.output_model import compare_fabrication_output  # noqa: F401
+from repro.core.yield_model import detuning_sweep, yield_vs_qubits  # noqa: F401
+from repro.device.calibration import (  # noqa: F401
+    SyntheticCalibrationGenerator,
+    washington_cx_model,
+)
+from repro.device.noise import EmpiricalCXModel  # noqa: F401
+from repro.simulation.esp import (  # noqa: F401
+    FidelityScore,
+    fidelity_product,
+    fidelity_ratio,
+)
+
+from repro.analysis.figures.fig3_trends import Fig3Result, run_fig3_processor_trends
+from repro.analysis.figures.fig4_yield import Fig4Result, run_fig4_yield_sweep
+from repro.analysis.figures.fig6_configurations import run_fig6_configurations
+from repro.analysis.figures.fig7_detuning import Fig7Result, run_fig7_detuning_model
+from repro.analysis.figures.fig8_mcm import Fig8Result, run_fig8_yield_comparison
+from repro.analysis.figures.fig9_heatmaps import Fig9Result, run_fig9_infidelity_heatmap
+from repro.analysis.figures.fig10_apps import Fig10Result, run_fig10_applications
+from repro.analysis.figures.sec5c_output import run_sec5c_fabrication_output
+from repro.analysis.figures.tables import (
+    Table1Result,
+    Table2Result,
+    run_table1_collision_criteria,
+    run_table2_compiled_benchmarks,
+)
 
 __all__ = [
     "run_fig3_processor_trends",
@@ -48,625 +78,9 @@ __all__ = [
     "Fig3Result",
     "Table1Result",
     "Fig4Result",
+    "Fig7Result",
     "Fig8Result",
     "Fig9Result",
     "Fig10Result",
     "Table2Result",
 ]
-
-
-# ---------------------------------------------------------------------- #
-# Fig. 3 — processor-size vs. CX infidelity trends
-# ---------------------------------------------------------------------- #
-@dataclass
-class Fig3Result:
-    """CX-infidelity statistics per processor (Fig. 3b)."""
-
-    rows: list[dict] = field(default_factory=list)
-
-    def format_table(self) -> str:
-        """Render the per-processor statistics as a text table."""
-        header = ["device", "qubits", "median", "mean", "q25", "q75", "iqr"]
-        body = [
-            [
-                r["device"],
-                r["qubits"],
-                f"{r['median']:.4f}",
-                f"{r['mean']:.4f}",
-                f"{r['q25']:.4f}",
-                f"{r['q75']:.4f}",
-                f"{r['iqr']:.4f}",
-            ]
-            for r in self.rows
-        ]
-        return format_table(header, body)
-
-
-def run_fig3_processor_trends(
-    num_cycles: int = 15, seed: int = 11
-) -> Fig3Result:
-    """Regenerate Fig. 3(b): CX infidelity distributions vs. processor size."""
-    generator = SyntheticCalibrationGenerator()
-    suite = generator.generate_processor_suite(num_cycles=num_cycles, seed=seed)
-    result = Fig3Result()
-    for name, dataset in suite.items():
-        values = dataset.all_infidelities()
-        q25, q75 = np.percentile(values, [25, 75])
-        result.rows.append(
-            {
-                "device": name,
-                "qubits": dataset.num_qubits,
-                "median": dataset.median_infidelity(),
-                "mean": dataset.mean_infidelity(),
-                "q25": float(q25),
-                "q75": float(q75),
-                "iqr": dataset.infidelity_iqr(),
-            }
-        )
-    result.rows.sort(key=lambda r: r["qubits"])
-    return result
-
-
-# ---------------------------------------------------------------------- #
-# Table I — collision criteria demonstration
-# ---------------------------------------------------------------------- #
-@dataclass
-class Table1Result:
-    """One demonstration row per collision type."""
-
-    rows: list[dict] = field(default_factory=list)
-
-    def format_table(self) -> str:
-        """Render the per-criterion demonstrations."""
-        header = ["type", "description", "frequencies (GHz)", "detected"]
-        body = [
-            [r["type"], r["description"], r["frequencies"], "yes" if r["detected"] else "NO"]
-            for r in self.rows
-        ]
-        return format_table(header, body)
-
-
-def run_table1_collision_criteria() -> Table1Result:
-    """Check each Table I criterion on a minimal hand-crafted device.
-
-    A three-qubit device (control ``Q1`` coupled to targets ``Q0`` and
-    ``Q2``) is given frequency assignments that violate exactly one
-    criterion at a time; the collision detector must flag each of them.
-    """
-    spec = FrequencySpec()
-    alpha = spec.anharmonicity_ghz
-    labels = np.array([0, 2, 1])
-    edges = [(1, 0), (1, 2)]
-    allocation = allocation_from_labels(labels, edges, spec=spec)
-    f0, f1, f2 = spec.frequencies
-
-    cases = [
-        (1, "f_i = f_j (near-null neighbours)", np.array([f2 + 0.001, f2, f1])),
-        (2, "f_i + a/2 = f_j", np.array([f2 + alpha / 2.0, f2, f1])),
-        (3, "f_i = f_j + a", np.array([f2 + alpha + 0.001, f2, f1])),
-        (4, "target outside straddling regime", np.array([f2 + 0.05, f2, f1])),
-        (5, "f_j = f_k (shared control)", np.array([f0, f2, f0 + 0.001])),
-        (6, "f_j = f_k + a (shared control)", np.array([f0, f2, f0 - alpha - 0.001])),
-        (7, "2 f_i + a = f_j + f_k", np.array([2 * f2 + alpha - f1 + 0.001, f2, f1])),
-    ]
-    result = Table1Result()
-    for ctype, description, frequencies in cases:
-        report = find_collisions(allocation, frequencies)
-        detected = ctype in {t for t, _ in report.collisions}
-        result.rows.append(
-            {
-                "type": ctype,
-                "description": description,
-                "frequencies": "/".join(f"{f:.3f}" for f in frequencies),
-                "detected": detected,
-            }
-        )
-    return result
-
-
-# ---------------------------------------------------------------------- #
-# Fig. 4 — collision-free yield vs. qubits
-# ---------------------------------------------------------------------- #
-@dataclass
-class Fig4Result:
-    """Yield curves for every (detuning step, sigma_f) combination."""
-
-    sizes: tuple[int, ...]
-    curves: dict[tuple[float, float], list[float]] = field(default_factory=dict)
-
-    def best_step(self, sigma_ghz: float) -> float:
-        """Detuning step with the highest total yield for a given precision."""
-        totals: dict[float, float] = {}
-        for (step, sigma), yields in self.curves.items():
-            if abs(sigma - sigma_ghz) < 1e-12:
-                totals[step] = totals.get(step, 0.0) + sum(yields)
-        return max(totals, key=totals.get)
-
-    def format_table(self) -> str:
-        """Render the yield grid (one row per curve)."""
-        header = ["step", "sigma"] + [str(s) for s in self.sizes]
-        body = []
-        for (step, sigma), yields in sorted(self.curves.items()):
-            body.append([f"{step:.2f}", f"{sigma:.4f}"] + [f"{y:.3f}" for y in yields])
-        return format_table(header, body)
-
-
-def run_fig4_yield_sweep(
-    steps_ghz: tuple[float, ...] = (0.04, 0.05, 0.06, 0.07),
-    sigmas_ghz: tuple[float, ...] = (
-        SIGMA_AS_FABRICATED_GHZ,
-        SIGMA_LASER_TUNED_GHZ,
-        SIGMA_SCALING_TARGET_GHZ,
-    ),
-    sizes: tuple[int, ...] = (5, 10, 20, 40, 65, 100, 200, 300, 500, 750, 1000),
-    batch_size: int = 1000,
-    seed: int = 7,
-) -> Fig4Result:
-    """Regenerate the Fig. 4 grid of yield-vs-qubits curves."""
-    curves = detuning_sweep(
-        steps_ghz=steps_ghz,
-        sigmas_ghz=sigmas_ghz,
-        sizes=sizes,
-        batch_size=batch_size,
-        seed=seed,
-    )
-    result = Fig4Result(sizes=sizes)
-    for key, curve in curves.items():
-        result.curves[key] = curve.yields
-    return result
-
-
-# ---------------------------------------------------------------------- #
-# Fig. 6 — configuration counting
-# ---------------------------------------------------------------------- #
-def run_fig6_configurations(
-    chiplet_yield: float | None = None,
-    batch_size: int = 100_000,
-    chiplet_qubits: int = 20,
-    max_grid: int = 7,
-    seed: int = 7,
-):
-    """Regenerate Fig. 6 (configurations and assembled-MCM bound vs. size).
-
-    When ``chiplet_yield`` is ``None`` the yield of the 20-qubit chiplet is
-    measured by Monte-Carlo at the state-of-the-art precision, mirroring the
-    paper's ~69.4 % figure.
-    """
-    if chiplet_yield is None:
-        design = ChipletDesign.build(chiplet_qubits)
-        curve = yield_vs_qubits(
-            sigma_ghz=SIGMA_LASER_TUNED_GHZ,
-            step_ghz=0.06,
-            sizes=(chiplet_qubits,),
-            batch_size=5000,
-            seed=seed,
-            lattices={chiplet_qubits: design.lattice},
-        )
-        chiplet_yield = curve.yields[0]
-    return configuration_curve(
-        chiplet_yield=chiplet_yield,
-        batch_size=batch_size,
-        chiplet_qubits=chiplet_qubits,
-        max_grid=max_grid,
-    )
-
-
-# ---------------------------------------------------------------------- #
-# Section V-C — fabrication output
-# ---------------------------------------------------------------------- #
-def run_sec5c_fabrication_output(
-    monolithic_qubits: int = 100,
-    chiplet_qubits: int = 10,
-    grid: tuple[int, int] = (2, 5),
-    batch_size: int = 1000,
-    sigma_ghz: float = SIGMA_LASER_TUNED_GHZ,
-    seed: int = 7,
-):
-    """Regenerate the Section V-C worked example (about a 7.7x output gain)."""
-    curve = yield_vs_qubits(
-        sigma_ghz=sigma_ghz,
-        step_ghz=0.06,
-        sizes=(chiplet_qubits, monolithic_qubits),
-        batch_size=batch_size,
-        seed=seed,
-    )
-    chiplet_yield = curve.yield_at(chiplet_qubits)
-    monolithic_yield = curve.yield_at(monolithic_qubits)
-    return compare_fabrication_output(
-        monolithic_yield=monolithic_yield,
-        chiplet_yield=chiplet_yield,
-        batch_size=batch_size,
-        monolithic_qubits=monolithic_qubits,
-        chiplet_qubits=chiplet_qubits,
-        grid_rows=grid[0],
-        grid_cols=grid[1],
-    )
-
-
-# ---------------------------------------------------------------------- #
-# Fig. 7 — detuning vs. CX infidelity model
-# ---------------------------------------------------------------------- #
-@dataclass
-class Fig7Result:
-    """Summary of the empirical detuning-binned CX model."""
-
-    median: float
-    mean: float
-    bin_means: dict[float, float]
-    num_points: int
-
-    def format_table(self) -> str:
-        """Render the per-bin mean infidelities."""
-        header = ["bin centre (GHz)", "mean CX infidelity"]
-        body = [[f"{centre:.2f}", f"{value:.4f}"] for centre, value in sorted(self.bin_means.items())]
-        return format_table(header, body)
-
-
-def run_fig7_detuning_model(seed: int = 11) -> Fig7Result:
-    """Regenerate the Fig. 7 data summary (median 1.2 %, mean 1.8 %)."""
-    model = washington_cx_model(seed=seed)
-    return Fig7Result(
-        median=model.median(),
-        mean=model.mean(),
-        bin_means=model.bin_means(),
-        num_points=model.num_observations,
-    )
-
-
-# ---------------------------------------------------------------------- #
-# Fig. 8 — yield comparison
-# ---------------------------------------------------------------------- #
-@dataclass
-class Fig8Result:
-    """Yield-vs-qubits series for monolithic and MCM architectures."""
-
-    monolithic: list[tuple[int, float]] = field(default_factory=list)
-    chiplet_yields: dict[int, float] = field(default_factory=dict)
-    mcm_series: dict[int, list[tuple[int, float, float]]] = field(default_factory=dict)
-    yield_improvements: dict[int, float] = field(default_factory=dict)
-
-    def format_table(self) -> str:
-        """Render average yield-improvement factors per chiplet size."""
-        header = ["chiplet size", "chiplet yield", "avg yield improvement (x)"]
-        body = [
-            [
-                size,
-                f"{self.chiplet_yields.get(size, float('nan')):.3f}",
-                "inf" if self.yield_improvements[size] == inf else f"{self.yield_improvements[size]:.2f}",
-            ]
-            for size in sorted(self.yield_improvements)
-        ]
-        return format_table(header, body)
-
-
-def run_fig8_yield_comparison(
-    study: ArchitectureStudy,
-    chiplet_sizes: tuple[int, ...] | None = None,
-) -> Fig8Result:
-    """Regenerate Fig. 8: yield vs. system size for every architecture."""
-    config = study.config
-    sizes = chiplet_sizes or config.chiplet_sizes
-    result = Fig8Result()
-
-    monolithic_sizes: set[int] = set()
-    for chiplet_size in sizes:
-        for grid in mcm_dimensions_for(chiplet_size, config.max_qubits):
-            monolithic_sizes.add(chiplet_size * grid[0] * grid[1])
-    for size in sorted(monolithic_sizes):
-        mono = study.monolithic_result(size)
-        result.monolithic.append((size, mono.collision_free_yield))
-
-    for chiplet_size in sizes:
-        chiplet_bin = study.chiplet_bin(chiplet_size)
-        result.chiplet_yields[chiplet_size] = chiplet_bin.collision_free_yield
-        series = []
-        mcm_yields = []
-        mono_yields = []
-        for grid in mcm_dimensions_for(chiplet_size, config.max_qubits):
-            mcm = study.mcm_result(chiplet_size, grid)
-            num_qubits = mcm.design.num_qubits
-            series.append(
-                (num_qubits, mcm.post_assembly_yield, mcm.post_assembly_yield_100x)
-            )
-            mcm_yields.append(mcm.post_assembly_yield)
-            mono_yields.append(study.monolithic_result(num_qubits).collision_free_yield)
-        series.sort()
-        result.mcm_series[chiplet_size] = series
-        # "Average yield improvement" of the chiplet group: the mean MCM
-        # yield over its configurations relative to the mean monolithic
-        # yield over the same system sizes (infinite when every monolithic
-        # counterpart has zero yield, as for the paper's 200-qubit chiplet).
-        mean_mono = float(np.mean(mono_yields)) if mono_yields else 0.0
-        mean_mcm = float(np.mean(mcm_yields)) if mcm_yields else 0.0
-        result.yield_improvements[chiplet_size] = (
-            mean_mcm / mean_mono if mean_mono > 0 else inf
-        )
-    return result
-
-
-# ---------------------------------------------------------------------- #
-# Fig. 9 — average-infidelity heat-maps
-# ---------------------------------------------------------------------- #
-@dataclass
-class Fig9Result:
-    """E_avg ratios per scenario, chiplet size and square MCM dimension."""
-
-    cells: list[dict] = field(default_factory=list)
-
-    def ratios_for_scenario(self, scenario: str) -> dict[tuple[int, int], float]:
-        """Map (chiplet size, grid dimension) -> ratio for one scenario."""
-        return {
-            (c["chiplet_size"], c["grid"][0]): c["ratio"]
-            for c in self.cells
-            if c["scenario"] == scenario
-        }
-
-    def fraction_below_one(self, scenario: str) -> float:
-        """Fraction of (finite) cells where the MCM wins for one scenario."""
-        ratios = [
-            c["ratio"]
-            for c in self.cells
-            if c["scenario"] == scenario and np.isfinite(c["ratio"])
-        ]
-        if not ratios:
-            return float("nan")
-        return float(np.mean([r < 1.0 for r in ratios]))
-
-    def best_ratio(self, scenario: str) -> float:
-        """Lowest finite ratio for one scenario (the paper quotes ~0.815)."""
-        ratios = [
-            c["ratio"]
-            for c in self.cells
-            if c["scenario"] == scenario and np.isfinite(c["ratio"])
-        ]
-        return min(ratios) if ratios else float("nan")
-
-    def format_table(self, scenario: str) -> str:
-        """Render one scenario's heat-map as a table."""
-        header = ["chiplet", "grid", "qubits", "E_mcm", "E_mono", "ratio"]
-        body = []
-        for cell in self.cells:
-            if cell["scenario"] != scenario:
-                continue
-            ratio = cell["ratio"]
-            body.append(
-                [
-                    cell["chiplet_size"],
-                    f"{cell['grid'][0]}x{cell['grid'][1]}",
-                    cell["num_qubits"],
-                    f"{cell['mcm_eavg']:.4f}",
-                    "n/a" if np.isnan(cell["mono_eavg"]) else f"{cell['mono_eavg']:.4f}",
-                    "inf-yield" if not np.isfinite(ratio) else f"{ratio:.3f}",
-                ]
-            )
-        return format_table(header, body)
-
-
-def run_fig9_infidelity_heatmap(
-    study: ArchitectureStudy,
-    chiplet_sizes: tuple[int, ...] | None = None,
-) -> Fig9Result:
-    """Regenerate the Fig. 9 heat-maps for all four link scenarios."""
-    config = study.config
-    sizes = chiplet_sizes or tuple(
-        s for s in config.chiplet_sizes if square_dimensions_for(s, config.max_qubits)
-    )
-    result = Fig9Result()
-    for chiplet_size in sizes:
-        for grid in square_dimensions_for(chiplet_size, config.max_qubits):
-            mcm = study.mcm_result(chiplet_size, grid)
-            mono = study.monolithic_result(mcm.design.num_qubits)
-            # Scaled-yield comparison (Section VII-C2): the monolithic pool
-            # contains only its collision-free devices, so the modular pool
-            # is restricted to the same number of modules, built from the
-            # best chiplets of the sorted, collision-free bin.
-            num_mono_devices = int(
-                round(mono.collision_free_yield * config.monolithic_batch_size)
-            )
-            count = max(1, num_mono_devices)
-            for scenario in study.scenarios:
-                mcm_eavg = mcm.eavg_for_scenario(scenario, count=count)
-                ratio = (
-                    mcm_eavg / mono.eavg
-                    if np.isfinite(mono.eavg) and mono.eavg > 0
-                    else float("inf")
-                )
-                result.cells.append(
-                    {
-                        "chiplet_size": chiplet_size,
-                        "grid": grid,
-                        "num_qubits": mcm.design.num_qubits,
-                        "scenario": scenario.name,
-                        "mcm_eavg": mcm_eavg,
-                        "mono_eavg": mono.eavg,
-                        "ratio": ratio,
-                    }
-                )
-    return result
-
-
-# ---------------------------------------------------------------------- #
-# Fig. 10 — application-level fidelity ratios
-# ---------------------------------------------------------------------- #
-@dataclass
-class Fig10Result:
-    """Per-system, per-benchmark fidelity comparison."""
-
-    utilisation: float
-    rows: list[dict] = field(default_factory=list)
-
-    def ratios_for_benchmark(self, benchmark: str) -> list[tuple[int, float]]:
-        """(system size, MCM/monolithic fidelity ratio) for one benchmark."""
-        return [
-            (r["num_qubits"], r["ratio"]) for r in self.rows if r["benchmark"] == benchmark
-        ]
-
-    def mcm_advantage_fraction(self, benchmark: str, chiplet_sizes: tuple[int, ...]) -> float:
-        """Fraction of systems (of given chiplet sizes) where the MCM wins."""
-        values = [
-            r["ratio"] >= 1.0
-            for r in self.rows
-            if r["benchmark"] == benchmark and r["chiplet_size"] in chiplet_sizes
-        ]
-        return float(np.mean(values)) if values else float("nan")
-
-    def format_table(self) -> str:
-        """Render every comparison row."""
-        header = [
-            "chiplet", "grid", "qubits", "benchmark",
-            "log10F_mcm", "log10F_mono", "ratio",
-        ]
-        body = []
-        for r in self.rows:
-            ratio = r["ratio"]
-            body.append(
-                [
-                    r["chiplet_size"],
-                    f"{r['grid'][0]}x{r['grid'][1]}",
-                    r["num_qubits"],
-                    r["benchmark"],
-                    f"{r['mcm_log10_fidelity']:.2f}",
-                    "0-yield" if r["mono_log10_fidelity"] is None else f"{r['mono_log10_fidelity']:.2f}",
-                    "inf" if ratio == inf else f"{ratio:.3g}",
-                ]
-            )
-        return format_table(header, body)
-
-
-def run_fig10_applications(
-    study: ArchitectureStudy,
-    chiplet_sizes: tuple[int, ...] | None = None,
-    square_only: bool = True,
-    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
-    utilisation: float = 0.8,
-    seed: int = 5,
-) -> Fig10Result:
-    """Regenerate Fig. 10: benchmark fidelity products, MCM vs. monolithic.
-
-    Parameters
-    ----------
-    study:
-        Shared architecture study (provides devices for both architectures).
-    chiplet_sizes:
-        Chiplet sizes to include; defaults to every size with a square MCM
-        when ``square_only`` is set, otherwise every paper size.
-    square_only:
-        Restrict to the ``n x n`` systems of Fig. 10(b) (also the Fig. 9
-        subset); the full 102-configuration sweep of Fig. 10(a) is obtained
-        with ``square_only=False``.
-    benchmarks:
-        Benchmark names to compile.
-    utilisation:
-        Fraction of device qubits targeted by each benchmark (paper: 80 %).
-    """
-    config = study.config
-    result = Fig10Result(utilisation=utilisation)
-    if chiplet_sizes is None:
-        chiplet_sizes = tuple(
-            s
-            for s in config.chiplet_sizes
-            if not square_only or square_dimensions_for(s, config.max_qubits)
-        )
-
-    for chiplet_size in chiplet_sizes:
-        grids = (
-            square_dimensions_for(chiplet_size, config.max_qubits)
-            if square_only
-            else mcm_dimensions_for(chiplet_size, config.max_qubits)
-        )
-        for grid in grids:
-            mcm = study.mcm_result(chiplet_size, grid)
-            if mcm.best_device is None:
-                continue
-            mono = study.monolithic_result(mcm.design.num_qubits)
-            width = max(2, int(round(utilisation * mcm.design.num_qubits)))
-            for benchmark in benchmarks:
-                circuit = build_benchmark(benchmark, width, seed=seed)
-                mcm_transpiled = transpile(circuit, mcm.best_device)
-                mcm_score = fidelity_product(
-                    mcm_transpiled.two_qubit_edges, mcm.best_device
-                )
-                mono_score: FidelityScore | None = None
-                if mono.representative_device is not None:
-                    mono_transpiled = transpile(circuit, mono.representative_device)
-                    mono_score = fidelity_product(
-                        mono_transpiled.two_qubit_edges, mono.representative_device
-                    )
-                result.rows.append(
-                    {
-                        "chiplet_size": chiplet_size,
-                        "grid": grid,
-                        "num_qubits": mcm.design.num_qubits,
-                        "benchmark": benchmark,
-                        "mcm_log10_fidelity": mcm_score.log10_fidelity,
-                        "mono_log10_fidelity": (
-                            mono_score.log10_fidelity if mono_score is not None else None
-                        ),
-                        "mcm_two_qubit_gates": mcm_score.num_two_qubit_gates,
-                        "mono_two_qubit_gates": (
-                            mono_score.num_two_qubit_gates if mono_score is not None else None
-                        ),
-                        "ratio": fidelity_ratio(mcm_score, mono_score),
-                    }
-                )
-    return result
-
-
-# ---------------------------------------------------------------------- #
-# Table II — compiled benchmark details
-# ---------------------------------------------------------------------- #
-@dataclass
-class Table2Result:
-    """Gate-count details for compiled benchmarks on 2x2 MCMs."""
-
-    rows: list[dict] = field(default_factory=list)
-
-    def format_table(self) -> str:
-        """Render the Table II rows."""
-        header = ["chiplet", "dim", "qubits", "benchmark", "1q", "2q", "2q critical"]
-        body = [
-            [
-                r["chiplet_size"],
-                f"{r['grid'][0]}x{r['grid'][1]}",
-                r["num_qubits"],
-                r["benchmark"],
-                r["num_one_qubit"],
-                r["num_two_qubit"],
-                r["two_qubit_critical_path"],
-            ]
-            for r in self.rows
-        ]
-        return format_table(header, body)
-
-
-def run_table2_compiled_benchmarks(
-    chiplet_sizes: tuple[int, ...] = (10, 20, 40, 60, 90),
-    grid: tuple[int, int] = (2, 2),
-    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
-    utilisation: float = 0.8,
-    seed: int = 5,
-) -> Table2Result:
-    """Regenerate Table II: compiled gate counts for the 2x2 MCM systems."""
-    result = Table2Result()
-    for chiplet_size in chiplet_sizes:
-        design = ChipletDesign.build(chiplet_size)
-        from repro.core.mcm import MCMDesign  # local import to avoid cycles
-
-        mcm = MCMDesign.build(design, *grid)
-        coupling = mcm.coupling_map()
-        width = max(2, int(round(utilisation * mcm.num_qubits)))
-        for benchmark in benchmarks:
-            circuit = build_benchmark(benchmark, width, seed=seed)
-            transpiled = transpile(circuit, coupling)
-            result.rows.append(
-                {
-                    "chiplet_size": chiplet_size,
-                    "grid": grid,
-                    "num_qubits": mcm.num_qubits,
-                    "benchmark": benchmark,
-                    "num_one_qubit": transpiled.metrics.num_one_qubit,
-                    "num_two_qubit": transpiled.metrics.num_two_qubit,
-                    "two_qubit_critical_path": transpiled.metrics.two_qubit_critical_path,
-                }
-            )
-    return result

@@ -1,0 +1,61 @@
+"""Fig. 3 — processor-size vs. CX infidelity trends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.device.calibration import SyntheticCalibrationGenerator
+
+__all__ = ["Fig3Result", "run_fig3_processor_trends"]
+
+
+@dataclass
+class Fig3Result:
+    """CX-infidelity statistics per processor (Fig. 3b)."""
+
+    rows: list[dict] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render the per-processor statistics as a text table."""
+        header = ["device", "qubits", "median", "mean", "q25", "q75", "iqr"]
+        body = [
+            [
+                r["device"],
+                r["qubits"],
+                f"{r['median']:.4f}",
+                f"{r['mean']:.4f}",
+                f"{r['q25']:.4f}",
+                f"{r['q75']:.4f}",
+                f"{r['iqr']:.4f}",
+            ]
+            for r in self.rows
+        ]
+        return format_table(header, body)
+
+
+def run_fig3_processor_trends(
+    num_cycles: int = 15, seed: int = 11
+) -> Fig3Result:
+    """Regenerate Fig. 3(b): CX infidelity distributions vs. processor size."""
+    generator = SyntheticCalibrationGenerator()
+    suite = generator.generate_processor_suite(num_cycles=num_cycles, seed=seed)
+    result = Fig3Result()
+    for name, dataset in suite.items():
+        values = dataset.all_infidelities()
+        q25, q75 = np.percentile(values, [25, 75])
+        result.rows.append(
+            {
+                "device": name,
+                "qubits": dataset.num_qubits,
+                "median": dataset.median_infidelity(),
+                "mean": dataset.mean_infidelity(),
+                "q25": float(q25),
+                "q75": float(q75),
+                "iqr": dataset.infidelity_iqr(),
+            }
+        )
+    result.rows.sort(key=lambda r: r["qubits"])
+    return result

@@ -1,0 +1,40 @@
+"""Section V-C — fabrication-output comparison (the ~7.7x worked example)."""
+
+from __future__ import annotations
+
+from repro.core.fabrication import SIGMA_LASER_TUNED_GHZ
+from repro.core.output_model import compare_fabrication_output
+from repro.core.yield_model import yield_vs_qubits
+
+__all__ = ["run_sec5c_fabrication_output"]
+
+
+def run_sec5c_fabrication_output(
+    monolithic_qubits: int = 100,
+    chiplet_qubits: int = 10,
+    grid: tuple[int, int] = (2, 5),
+    batch_size: int = 1000,
+    sigma_ghz: float = SIGMA_LASER_TUNED_GHZ,
+    seed: int = 7,
+    engine=None,
+):
+    """Regenerate the Section V-C worked example (about a 7.7x output gain)."""
+    curve = yield_vs_qubits(
+        sigma_ghz=sigma_ghz,
+        step_ghz=0.06,
+        sizes=(chiplet_qubits, monolithic_qubits),
+        batch_size=batch_size,
+        seed=seed,
+        executor=engine,
+    )
+    chiplet_yield = curve.yield_at(chiplet_qubits)
+    monolithic_yield = curve.yield_at(monolithic_qubits)
+    return compare_fabrication_output(
+        monolithic_yield=monolithic_yield,
+        chiplet_yield=chiplet_yield,
+        batch_size=batch_size,
+        monolithic_qubits=monolithic_qubits,
+        chiplet_qubits=chiplet_qubits,
+        grid_rows=grid[0],
+        grid_cols=grid[1],
+    )

@@ -1,0 +1,192 @@
+"""The experiment registry behind ``python -m repro run <experiment>``.
+
+Each figure/table driver is registered under its paper name with a
+uniform runner signature::
+
+    runner(engine, seed=None, batch_size=None, full=False) -> (result, text)
+
+``engine`` is an :class:`repro.engine.ExecutionEngine` (or ``None`` for
+plain in-process execution), ``seed`` overrides the experiment's default
+master seed, ``batch_size`` scales the Monte-Carlo batches and ``full``
+requests the paper-sized configuration sweep where one exists.  ``text``
+is the human-readable rendering the CLI prints.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.figures import (
+    run_fig3_processor_trends,
+    run_fig4_yield_sweep,
+    run_fig6_configurations,
+    run_fig7_detuning_model,
+    run_fig8_yield_comparison,
+    run_fig9_infidelity_heatmap,
+    run_fig10_applications,
+    run_sec5c_fabrication_output,
+    run_table1_collision_criteria,
+    run_table2_compiled_benchmarks,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.study import ArchitectureStudy, StudyConfig
+from repro.core.chiplet import PAPER_CHIPLET_SIZES
+from repro.engine import ExperimentRegistry
+
+__all__ = ["EXPERIMENTS", "build_study"]
+
+EXPERIMENTS = ExperimentRegistry()
+
+#: Reduced-batch default so CLI runs finish in minutes on a laptop; the
+#: paper's 10 000-die batches are requested with ``--batch 10000``.
+DEFAULT_STUDY_BATCH = 2000
+
+#: Chiplet sizes for the study-backed figures at reduced (CLI) scale.
+CLI_CHIPLET_SIZES = (10, 20, 40)
+
+
+def build_study(
+    engine=None,
+    seed: int | None = None,
+    batch_size: int | None = None,
+    full: bool = False,
+) -> ArchitectureStudy:
+    """An engine-aware study sized for CLI runs (paper-sized with ``full``)."""
+    batch = batch_size or (10_000 if full else DEFAULT_STUDY_BATCH)
+    config = StudyConfig(
+        chiplet_batch_size=batch,
+        monolithic_batch_size=batch,
+        seed=seed if seed is not None else 2022,
+        chiplet_sizes=PAPER_CHIPLET_SIZES if full else CLI_CHIPLET_SIZES,
+    )
+    return ArchitectureStudy(config, engine=engine)
+
+
+def _fig3(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    result = run_fig3_processor_trends(seed=seed if seed is not None else 11)
+    return result, result.format_table()
+
+
+def _table1(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    result = run_table1_collision_criteria()
+    return result, result.format_table()
+
+
+def _fig4(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    result = run_fig4_yield_sweep(
+        batch_size=batch_size or 1000,
+        seed=seed if seed is not None else 7,
+        engine=engine,
+    )
+    return result, result.format_table()
+
+
+def _fig6(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    points = run_fig6_configurations(
+        batch_size=batch_size or 100_000,
+        seed=seed if seed is not None else 7,
+        engine=engine,
+    )
+    text = format_table(
+        ["grid", "log10(configs)", "max MCMs"],
+        [
+            [f"{p.grid[0]}x{p.grid[1]}", f"{p.log10_configurations:.1f}", p.max_mcms]
+            for p in points
+        ],
+    )
+    return points, text
+
+
+def _sec5c(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    result = run_sec5c_fabrication_output(
+        batch_size=batch_size or 1000,
+        seed=seed if seed is not None else 7,
+        engine=engine,
+    )
+    text = (
+        f"monolithic devices: {result.monolithic_devices:.1f}\n"
+        f"MCM devices (upper bound): {result.mcm_devices:.1f}\n"
+        f"fabrication-output gain: {result.gain:.2f}x"
+    )
+    return result, text
+
+
+def _fig7(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    result = run_fig7_detuning_model(seed=seed if seed is not None else 11)
+    summary = (
+        f"median {result.median:.4f}, mean {result.mean:.4f} "
+        f"({result.num_points} points)\n"
+    )
+    return result, summary + result.format_table()
+
+
+def _fig8(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    study = build_study(engine, seed, batch_size, full)
+    result = run_fig8_yield_comparison(study)
+    return result, result.format_table()
+
+
+def _fig9(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    study = build_study(engine, seed, batch_size, full)
+    result = run_fig9_infidelity_heatmap(study)
+    sections = []
+    for scenario in study.scenarios:
+        sections.append(f"[scenario {scenario.name}]")
+        sections.append(result.format_table(scenario.name))
+    return result, "\n".join(sections)
+
+
+def _fig10(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    study = build_study(engine, seed, batch_size, full)
+    result = run_fig10_applications(
+        study, square_only=not full, seed=seed if seed is not None else 5
+    )
+    return result, result.format_table()
+
+
+def _table2(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+    sizes = (10, 20, 40, 60, 90) if full else (10, 20, 40)
+    result = run_table2_compiled_benchmarks(
+        chiplet_sizes=sizes,
+        seed=seed if seed is not None else 5,
+        engine=engine,
+    )
+    return result, result.format_table()
+
+
+EXPERIMENTS.register(
+    "fig3", "Fig. 3(b): CX infidelity distributions vs. processor size", _fig3
+)
+EXPERIMENTS.register(
+    "table1", "Table I: the seven collision criteria, demonstrated", _table1
+)
+EXPERIMENTS.register(
+    "fig4",
+    "Fig. 4: collision-free yield vs. qubits (parallel Monte-Carlo grid)",
+    _fig4,
+    aliases=("yield",),
+)
+EXPERIMENTS.register(
+    "fig6", "Fig. 6: configuration counting and assembled-MCM bound", _fig6
+)
+EXPERIMENTS.register(
+    "sec5c", "Section V-C: fabrication-output gain of chiplets", _sec5c
+)
+EXPERIMENTS.register(
+    "fig7", "Fig. 7: detuning-binned empirical CX error model", _fig7
+)
+EXPERIMENTS.register(
+    "fig8",
+    "Fig. 8: MCM vs. monolithic yield comparison (engine-prefetched)",
+    _fig8,
+    aliases=("mcm",),
+)
+EXPERIMENTS.register(
+    "fig9", "Fig. 9: average-infidelity heat-maps, four link scenarios", _fig9
+)
+EXPERIMENTS.register(
+    "fig10", "Fig. 10: application-level fidelity ratios", _fig10, aliases=("apps",)
+)
+EXPERIMENTS.register(
+    "table2", "Table II: compiled benchmark gate counts on 2x2 MCMs", _table2
+)

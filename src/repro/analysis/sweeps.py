@@ -1,9 +1,20 @@
-"""Generic parameter-sweep helpers used by the ablation benchmarks."""
+"""Generic parameter-sweep helpers used by the ablation benchmarks.
+
+Both helpers accept an ``executor`` (any object with ``map_calls``, i.e. a
+:class:`repro.engine.ExecutionEngine`) to fan the sweep out over worker
+processes, and a ``seed``: when given, every combination receives its own
+positionally-derived child seed as a ``seed=`` keyword argument, making
+sweeps reproducible end-to-end and independent of execution order.
+"""
 
 from __future__ import annotations
 
+import inspect
 from itertools import product
 from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.engine.dispatch import run_calls
+from repro.engine.seeding import spawn_seeds as _child_seeds
 
 __all__ = ["grid_sweep", "sweep_parameter"]
 
@@ -11,6 +22,9 @@ __all__ = ["grid_sweep", "sweep_parameter"]
 def grid_sweep(
     parameter_grid: Mapping[str, Sequence[object]],
     runner: Callable[..., object],
+    seed: int | None = None,
+    executor=None,
+    name: str = "grid_sweep",
 ) -> list[dict]:
     """Run ``runner`` for every combination of the parameter grid.
 
@@ -19,7 +33,16 @@ def grid_sweep(
     parameter_grid:
         Mapping from keyword-argument name to the values to sweep.
     runner:
-        Callable invoked with one keyword argument per grid dimension.
+        Callable invoked with one keyword argument per grid dimension
+        (plus ``seed`` when a master seed is given).
+    seed:
+        Master seed; each combination gets its own child seed passed as a
+        ``seed=`` keyword (the runner must accept it).
+    executor:
+        Optional engine hook; ``runner`` must then be picklable
+        (module-level) for the process-pool backend.
+    name:
+        Task-family label for instrumentation and caching.
 
     Returns
     -------
@@ -28,16 +51,74 @@ def grid_sweep(
         ``"result"`` key holding the runner's return value.
     """
     names = list(parameter_grid)
-    records = []
-    for values in product(*(parameter_grid[name] for name in names)):
+    if seed is not None and "seed" in names:
+        raise ValueError(
+            "'seed' cannot be both a grid dimension and a derived master "
+            "seed; drop one of the two"
+        )
+    combos = list(product(*(parameter_grid[name] for name in names)))
+    seeds = _child_seeds(seed, len(combos))
+    kwargs_list = []
+    for values, child_seed in zip(combos, seeds):
         kwargs = dict(zip(names, values))
-        records.append({**kwargs, "result": runner(**kwargs)})
-    return records
+        if seed is not None:
+            kwargs["seed"] = child_seed
+        kwargs_list.append(kwargs)
+    # Unseeded sweeps may be stochastic without the engine knowing — keep
+    # them out of the cache.
+    results = run_calls(
+        runner, kwargs_list, executor=executor, name=name, cacheable=seed is not None
+    )
+    return [
+        {**kwargs, "result": result} for kwargs, result in zip(kwargs_list, results)
+    ]
 
 
 def sweep_parameter(
     values: Iterable[object],
-    runner: Callable[[object], object],
+    runner: Callable[..., object],
+    seed: int | None = None,
+    executor=None,
+    name: str = "sweep_parameter",
 ) -> list[tuple[object, object]]:
-    """One-dimensional sweep returning ``(value, result)`` pairs."""
-    return [(value, runner(value)) for value in values]
+    """One-dimensional sweep returning ``(value, result)`` pairs.
+
+    With a ``seed``, the runner is called as ``runner(value, seed=child)``;
+    with an ``executor`` the points run through the engine (the value is
+    passed under the runner's first parameter name, so any one-argument
+    module-level runner works unchanged).
+    """
+    values = list(values)
+    seeds = _child_seeds(seed, len(values))
+    if executor is None:
+        if seed is None:
+            return [(value, runner(value)) for value in values]
+        return [
+            (value, runner(value, seed=child))
+            for value, child in zip(values, seeds)
+        ]
+    try:
+        first = next(iter(inspect.signature(runner).parameters.values()))
+        if first.kind is inspect.Parameter.POSITIONAL_ONLY:
+            raise ValueError
+        value_param = first.name
+    except (ValueError, TypeError, StopIteration):
+        raise ValueError(
+            "executor-backed sweeps call the runner by keyword; wrap "
+            f"{runner!r} in a module-level function with named parameters"
+        ) from None
+    if seed is not None and value_param == "seed":
+        raise ValueError(
+            "the runner's first parameter is named 'seed', which collides "
+            "with the derived child seed; rename it or drop the master seed"
+        )
+    kwargs_list = []
+    for value, child in zip(values, seeds):
+        kwargs = {value_param: value}
+        if seed is not None:
+            kwargs["seed"] = child
+        kwargs_list.append(kwargs)
+    results = run_calls(
+        runner, kwargs_list, executor=executor, name=name, cacheable=seed is not None
+    )
+    return list(zip(values, results))

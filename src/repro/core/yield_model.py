@@ -14,6 +14,13 @@ Key entry points
 :func:`detuning_sweep`
     The full Fig. 4 grid: yield vs. qubits for several detuning steps and
     fabrication precisions.
+
+Both sweep entry points accept an ``executor`` hook — any object with a
+``map_calls(fn, kwargs_list, name=...)`` method, in practice a
+:class:`repro.engine.ExecutionEngine` — and submit one task per
+(sigma, step, size) point.  Each point derives its own seed from the
+master seed by position (``np.random.SeedSequence.spawn``), so parallel
+and sequential runs are bit-identical at the same seed.
 """
 
 from __future__ import annotations
@@ -29,12 +36,20 @@ from repro.core.frequencies import (
     FrequencySpec,
     allocate_heavy_hex_frequencies,
 )
+
+# Shared with the engine: positional child-seed derivation (execution order
+# never changes a point's stream) and the executor dispatch.  Note this
+# imports the repro.engine package (stdlib + numpy only, no third-party
+# deps); core calls nothing beyond these two helpers at runtime.
+from repro.engine.dispatch import run_calls as _run_points
+from repro.engine.seeding import spawn_seeds as _point_seeds
 from repro.topology.heavy_hex import HeavyHexLattice, heavy_hex_by_qubit_count
 
 __all__ = [
     "YieldResult",
     "YieldCurve",
     "simulate_yield",
+    "simulate_yield_point",
     "simulate_yield_with_devices",
     "yield_vs_qubits",
     "detuning_sweep",
@@ -84,11 +99,27 @@ class YieldResult:
 
 @dataclass
 class YieldCurve:
-    """Collision-free yield as a function of device size."""
+    """Collision-free yield as a function of device size.
+
+    ``points`` is append-only and holds each size at most once — that is
+    the contract the O(1) size lookups rely on.  The backing index is
+    rebuilt when points were appended since the last lookup (and once
+    more on a missed lookup); replacing or reordering entries in place is
+    unsupported and may serve a stale point.
+    """
 
     sigma_ghz: float
     step_ghz: float
     points: list[YieldResult] = field(default_factory=list)
+    _index: dict[int, YieldResult] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _point_index(self, rebuild: bool = False) -> dict[int, YieldResult]:
+        if rebuild or len(self._index) != len(self.points):
+            self._index.clear()
+            self._index.update({p.num_qubits: p for p in self.points})
+        return self._index
 
     @property
     def sizes(self) -> list[int]:
@@ -100,12 +131,20 @@ class YieldCurve:
         """Collision-free yields along the curve."""
         return [p.collision_free_yield for p in self.points]
 
+    def at_size(self, num_qubits: int) -> YieldResult:
+        """The full :class:`YieldResult` for one size, via an O(1) lookup."""
+        try:
+            return self._point_index()[num_qubits]
+        except KeyError:
+            pass
+        try:
+            return self._point_index(rebuild=True)[num_qubits]
+        except KeyError:
+            raise KeyError(f"size {num_qubits} not present in the curve") from None
+
     def yield_at(self, num_qubits: int) -> float:
         """Yield for a specific size (raises if the size was not simulated)."""
-        for point in self.points:
-            if point.num_qubits == num_qubits:
-                return point.collision_free_yield
-        raise KeyError(f"size {num_qubits} not present in the curve")
+        return self.at_size(num_qubits).collision_free_yield
 
 
 def simulate_yield(
@@ -172,6 +211,37 @@ def simulate_yield_with_devices(
     return result, frequencies[mask]
 
 
+def simulate_yield_point(
+    sigma_ghz: float,
+    step_ghz: float,
+    num_qubits: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    seed: int | None = None,
+    thresholds: CollisionThresholds | None = None,
+    lattice: HeavyHexLattice | None = None,
+) -> YieldResult:
+    """One self-contained (sigma, step, size) Monte-Carlo point.
+
+    This is the unit of work the sweep entry points submit to the engine:
+    a module-level function of picklable arguments, so it runs identically
+    in a worker process and in the calling process.
+    """
+    if lattice is None:
+        lattice = heavy_hex_by_qubit_count(num_qubits)
+    allocation = allocate_heavy_hex_frequencies(
+        lattice, spec=FrequencySpec(step_ghz=step_ghz)
+    )
+    return simulate_yield(
+        allocation,
+        FabricationModel(sigma_ghz=sigma_ghz),
+        batch_size,
+        np.random.default_rng(seed),
+        thresholds,
+    )
+
+
+
+
 def yield_vs_qubits(
     sigma_ghz: float,
     step_ghz: float,
@@ -180,6 +250,7 @@ def yield_vs_qubits(
     seed: int | None = 7,
     thresholds: CollisionThresholds | None = None,
     lattices: dict[int, HeavyHexLattice] | None = None,
+    executor=None,
 ) -> YieldCurve:
     """Collision-free yield curve over a range of heavy-hex device sizes.
 
@@ -194,28 +265,40 @@ def yield_vs_qubits(
     batch_size:
         Devices fabricated per size.
     seed:
-        Seed for the Monte-Carlo sampling (``None`` for non-deterministic).
+        Master seed; each size derives its own child seed by position, so
+        results do not depend on execution order (``None`` for
+        non-deterministic sampling).
     thresholds:
         Collision windows.
     lattices:
         Optional cache mapping size -> pre-built lattice, to avoid repeating
         the lattice search across parameter points.
+    executor:
+        Optional engine hook (``map_calls``); ``None`` runs in-process.
     """
-    rng = np.random.default_rng(seed)
-    fabrication = FabricationModel(sigma_ghz=sigma_ghz)
-    spec = FrequencySpec(step_ghz=step_ghz)
     curve = YieldCurve(sigma_ghz=sigma_ghz, step_ghz=step_ghz)
-    for size in sizes:
+    kwargs_list = []
+    for size, child_seed in zip(sizes, _point_seeds(seed, len(sizes))):
         if lattices is not None and size in lattices:
             lattice = lattices[size]
         else:
             lattice = heavy_hex_by_qubit_count(size)
             if lattices is not None:
                 lattices[size] = lattice
-        allocation = allocate_heavy_hex_frequencies(lattice, spec=spec)
-        curve.points.append(
-            simulate_yield(allocation, fabrication, batch_size, rng, thresholds)
+        kwargs_list.append(
+            dict(
+                sigma_ghz=sigma_ghz,
+                step_ghz=step_ghz,
+                num_qubits=size,
+                batch_size=batch_size,
+                seed=child_seed,
+                thresholds=thresholds,
+                lattice=lattice,
+            )
         )
+    curve.points.extend(
+        _run_points(simulate_yield_point, kwargs_list, executor, "yield.point")
+    )
     return curve
 
 
@@ -225,24 +308,54 @@ def detuning_sweep(
     sizes: tuple[int, ...] = DEFAULT_SIZE_GRID,
     batch_size: int = DEFAULT_BATCH_SIZE,
     seed: int | None = 7,
+    thresholds: CollisionThresholds | None = None,
+    executor=None,
 ) -> dict[tuple[float, float], YieldCurve]:
     """The full Fig. 4 grid: one yield curve per (step, sigma) combination.
+
+    The grid is flattened into one task batch — ``len(steps) * len(sigmas)
+    * len(sizes)`` independent points — before submission, so a parallel
+    engine sees the full width of the sweep at once.  Seeding is two-level:
+    the master seed spawns one child seed per (step, sigma) curve, and each
+    curve spawns per-size point seeds from its child — positionally, never
+    by execution order, so the output is independent of both the executor
+    and the flattening.  (A curve of this grid therefore matches a lone
+    :func:`yield_vs_qubits` call at the curve's *derived* seed, not at the
+    master seed.)
 
     Returns
     -------
     dict
         Mapping ``(step_ghz, sigma_ghz) -> YieldCurve``.
     """
+    combos = [(step, sigma) for step in steps_ghz for sigma in sigmas_ghz]
+    curve_seeds = _point_seeds(seed, len(combos))
+
     lattices: dict[int, HeavyHexLattice] = {}
-    curves: dict[tuple[float, float], YieldCurve] = {}
-    for step in steps_ghz:
-        for sigma in sigmas_ghz:
-            curves[(step, sigma)] = yield_vs_qubits(
-                sigma_ghz=sigma,
-                step_ghz=step,
-                sizes=sizes,
-                batch_size=batch_size,
-                seed=seed,
-                lattices=lattices,
+    for size in sizes:
+        lattices[size] = heavy_hex_by_qubit_count(size)
+
+    kwargs_list = []
+    for (step, sigma), curve_seed in zip(combos, curve_seeds):
+        for size, child_seed in zip(sizes, _point_seeds(curve_seed, len(sizes))):
+            kwargs_list.append(
+                dict(
+                    sigma_ghz=sigma,
+                    step_ghz=step,
+                    num_qubits=size,
+                    batch_size=batch_size,
+                    seed=child_seed,
+                    thresholds=thresholds,
+                    lattice=lattices[size],
+                )
             )
+
+    points = _run_points(simulate_yield_point, kwargs_list, executor, "yield.point")
+    curves: dict[tuple[float, float], YieldCurve] = {}
+    for combo_index, (step, sigma) in enumerate(combos):
+        curve = YieldCurve(sigma_ghz=sigma, step_ghz=step)
+        curve.points.extend(
+            points[combo_index * len(sizes) : (combo_index + 1) * len(sizes)]
+        )
+        curves[(step, sigma)] = curve
     return curves

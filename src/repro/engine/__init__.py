@@ -1,0 +1,40 @@
+"""Parallel experiment-execution engine.
+
+The analysis layer regenerates every figure and table of the paper from
+thousands of independent Monte-Carlo points.  This package turns those
+points into :class:`Task` objects and executes them on a process pool with
+
+* deterministic per-task seed derivation (``np.random.SeedSequence.spawn``),
+  so a parallel run is bit-identical to a sequential run at the same seed;
+* an on-disk content-addressed result cache keyed on task name, parameters,
+  seed and code version;
+* wall-clock / throughput instrumentation;
+* a sequential in-process fallback (``jobs=1`` or pickling-hostile tasks).
+
+Layering: the engine depends only on numpy and the standard library, so
+any layer may import it.  The ``core`` sweep entry points accept their
+executor duck-typed (anything implementing
+:meth:`ExecutionEngine.map_calls`) and call only the
+:mod:`repro.engine.seeding` / :mod:`repro.engine.dispatch` helpers — they
+never construct runners or caches themselves.
+"""
+
+from repro.engine.cache import ResultCache, stable_token
+from repro.engine.dispatch import run_calls
+from repro.engine.registry import ExperimentRegistry, ExperimentSpec
+from repro.engine.runner import EngineStats, ExecutionEngine
+from repro.engine.seeding import spawn_seeds
+from repro.engine.task import Task, TaskGraph
+
+__all__ = [
+    "ExecutionEngine",
+    "EngineStats",
+    "ResultCache",
+    "stable_token",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "Task",
+    "TaskGraph",
+    "run_calls",
+    "spawn_seeds",
+]

@@ -1,0 +1,203 @@
+"""On-disk content-addressed result cache for engine tasks.
+
+Results are keyed on ``(task name, parameters, code version)`` — the seed
+is one of the parameters, so the same experiment at a different seed is a
+different cache entry.  The code version combines ``repro.__version__``,
+a digest of every ``repro`` source file (computed once per process), and
+a hash of the task function's own source — so editing *any* code the
+package ships, including the models a task calls into, invalidates
+cached results rather than silently serving stale numbers.
+
+Values are stored as pickle files named after the SHA-256 of the key,
+written atomically (temp file + rename) so concurrent workers never
+observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import os
+import pickle
+import sys
+import tempfile
+from dataclasses import is_dataclass, fields
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+import repro
+
+__all__ = ["ResultCache", "stable_token", "code_version_token", "default_cache_dir"]
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """`$REPRO_CACHE_DIR` when set, else ``.repro_cache/`` in the CWD."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else Path.cwd() / ".repro_cache"
+
+
+def stable_token(value: Any) -> str:
+    """A stable textual token for a parameter value.
+
+    Primitives render literally; containers recurse with sorted dict keys;
+    numpy arrays hash their bytes; dataclasses recurse over their fields;
+    anything else falls back to a hash of its pickle serialisation.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(float(value))
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(stable_token(v) for v in value)
+        return f"[{inner}]" if isinstance(value, list) else f"({inner})"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{stable_token(k)}:{stable_token(v)}" for k, v in sorted(value.items(), key=repr)
+        )
+        return f"{{{inner}}}"
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()[:16]
+        return f"ndarray({value.dtype},{value.shape},{digest})"
+    if is_dataclass(value) and not isinstance(value, type):
+        # compare=False fields are internal state (lazy caches, derived
+        # values) — two logically equal instances may differ there, so
+        # they must not influence the key.
+        inner = ",".join(
+            f"{f.name}={stable_token(getattr(value, f.name))}"
+            for f in fields(value)
+            if f.compare
+        )
+        return f"{type(value).__name__}({inner})"
+    digest = hashlib.sha256(pickle.dumps(value, protocol=4)).hexdigest()[:16]
+    return f"{type(value).__name__}#{digest}"
+
+
+@lru_cache(maxsize=1)
+def _package_source_digest() -> str:
+    """Digest of the ``repro`` sources plus the numerical environment.
+
+    Conservative by design: a task's results can depend on any module it
+    calls into, so any package edit invalidates the whole cache — as does
+    a Python or numpy upgrade, whose numerical behaviour (generator
+    streams, percentile interpolation) task results silently inherit.
+    """
+    package_root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    digest.update(
+        f"py{sys.version_info[0]}.{sys.version_info[1]}:np{np.__version__}".encode()
+    )
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            continue
+    return digest.hexdigest()[:12]
+
+
+@lru_cache(maxsize=512)
+def code_version_token(fn: Callable[..., Any] | None = None) -> str:
+    """Package version + package-source digest + the task's own source hash.
+
+    Memoized per function: the token only changes with the installed
+    sources, which cannot change within a process's lifetime.
+    """
+    token = f"{repro.__version__}:{_package_source_digest()}"
+    if fn is not None:
+        try:
+            source = inspect.getsource(fn)
+        except (OSError, TypeError):
+            source = getattr(fn, "__qualname__", repr(fn))
+        token += ":" + hashlib.sha256(source.encode()).hexdigest()[:12]
+    return token
+
+
+class ResultCache:
+    """Pickle-backed result store addressed by content key.
+
+    Parameters
+    ----------
+    directory:
+        Cache root (created lazily on first write).
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Keys
+    # ------------------------------------------------------------------ #
+    def key_for(
+        self,
+        name: str,
+        params: dict[str, Any] | None = None,
+        code_version: str | None = None,
+    ) -> str:
+        """SHA-256 key for one (name, params, code version) combination."""
+        payload = "|".join(
+            (
+                name,
+                stable_token(dict(params or {})),
+                code_version if code_version is not None else code_version_token(),
+            )
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    # ------------------------------------------------------------------ #
+    # Storage
+    # ------------------------------------------------------------------ #
+    def contains(self, key: str) -> bool:
+        """True when an entry exists for ``key``."""
+        return self._path(key).exists()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Load a cached value (``default`` on miss or unreadable entry)."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=4)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -1,0 +1,83 @@
+"""Experiment registry: name -> runnable experiment specification.
+
+The analysis layer registers one :class:`ExperimentSpec` per figure/table
+driver; the ``python -m repro`` CLI resolves experiments by name (or
+alias) and hands them an :class:`~repro.engine.runner.ExecutionEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ExperimentSpec", "ExperimentRegistry"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, engine-aware experiment.
+
+    Attributes
+    ----------
+    name:
+        Canonical name (``fig4``, ``table1``, ...).
+    description:
+        One-line summary shown by ``python -m repro list``.
+    runner:
+        ``runner(engine, seed, **options) -> result``; the result must
+        expose ``format_table()`` or be printable.
+    aliases:
+        Alternative CLI names.
+    """
+
+    name: str
+    description: str
+    runner: Callable[..., Any]
+    aliases: tuple[str, ...] = field(default=())
+
+
+class ExperimentRegistry:
+    """Mutable name -> :class:`ExperimentSpec` mapping with alias support."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ExperimentSpec] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(
+        self,
+        name: str,
+        description: str,
+        runner: Callable[..., Any],
+        aliases: tuple[str, ...] = (),
+    ) -> ExperimentSpec:
+        """Register an experiment; raises on duplicate names or aliases."""
+        spec = ExperimentSpec(name=name, description=description, runner=runner, aliases=aliases)
+        for key in (name, *aliases):
+            if key in self._specs or key in self._aliases:
+                raise ValueError(f"experiment name {key!r} already registered")
+        self._specs[name] = spec
+        for alias in aliases:
+            self._aliases[alias] = name
+        return spec
+
+    def get(self, name: str) -> ExperimentSpec:
+        """Resolve a name or alias; raises ``KeyError`` with suggestions."""
+        canonical = self._aliases.get(name, name)
+        if canonical not in self._specs:
+            known = ", ".join(sorted(self._specs))
+            raise KeyError(f"unknown experiment {name!r}; known: {known}")
+        return self._specs[canonical]
+
+    def names(self) -> list[str]:
+        """Canonical experiment names in registration order."""
+        return list(self._specs)
+
+    def specs(self) -> list[ExperimentSpec]:
+        """Every registered spec in registration order."""
+        return list(self._specs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs or name in self._aliases
+
+    def __len__(self) -> int:
+        return len(self._specs)

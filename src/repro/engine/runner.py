@@ -1,0 +1,320 @@
+"""The execution engine: parallel task runner with caching and stats.
+
+:class:`ExecutionEngine` executes :class:`~repro.engine.task.Task` batches
+on a ``concurrent.futures.ProcessPoolExecutor`` and falls back to an
+in-process sequential loop when ``jobs=1``, when a batch is trivially
+small, when the task *function* refuses to pickle (lambdas, closures —
+detected up front), or when the environment cannot start worker
+processes.  Unpicklable *parameter values* are a caller error and raise.
+Because every task carries its own pre-derived seed, the two backends
+produce bit-identical results.
+
+The engine deliberately exposes a small duck-typed surface —
+:meth:`ExecutionEngine.map_calls` — that the ``core`` sweep entry points
+accept as their ``executor`` hook without importing this package.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import pickle
+import time
+from collections import defaultdict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.engine.cache import ResultCache, code_version_token
+from repro.engine.task import Task, TaskGraph
+
+__all__ = ["ExecutionEngine", "EngineStats"]
+
+
+def _workers_can_start() -> bool:
+    """Canary probe: can this environment run a worker process at all?
+
+    Used only on the rare :class:`BrokenProcessPool` path to tell a
+    sandbox that refuses subprocesses (fall back sequentially) apart from
+    a worker killed by its task (surface the failure instead of
+    re-running the killer in the parent).
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(int, 0).result(timeout=30) == 0
+    except Exception:
+        return False
+
+
+def _fn_cache_safe(fn: Callable[..., Any]) -> bool:
+    """Only plain module-level functions may hit the on-disk cache.
+
+    The cache key hashes a function's *source*; closures, lambdas defined
+    inside other functions, bound methods and ``functools.partial``
+    objects carry captured state the source does not show, so two
+    same-source callables can compute different results and must never
+    share a cache entry.
+    """
+    return (
+        inspect.isfunction(fn)
+        and fn.__closure__ is None
+        and "<locals>" not in fn.__qualname__
+    )
+
+
+def _invoke(fn: Callable[..., Any], kwargs: dict[str, Any]) -> tuple[float, Any]:
+    """Module-level trampoline so task invocations pickle cleanly.
+
+    Returns ``(seconds, result)`` — the worker times its own execution so
+    per-task-family statistics stay accurate across processes.
+    """
+    started = time.perf_counter()
+    result = fn(**kwargs)
+    return time.perf_counter() - started, result
+
+
+@dataclass
+class EngineStats:
+    """Wall-clock / throughput instrumentation for one engine instance.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes the engine was configured with.
+    tasks_total:
+        Tasks submitted (including cache hits).
+    tasks_executed:
+        Tasks that actually ran (cache misses).
+    cache_hits:
+        Tasks answered from the on-disk cache.
+    wall_seconds:
+        Total wall-clock time spent inside ``run_tasks`` calls.
+    seconds_by_family:
+        Cumulative *execution* time per task family (task ``name``),
+        measured per task in whichever process ran it; cache hits cost
+        nothing, and with parallel workers the sum can exceed
+        ``wall_seconds``.
+    """
+
+    jobs: int = 1
+    tasks_total: int = 0
+    tasks_executed: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+    seconds_by_family: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    @property
+    def tasks_per_second(self) -> float:
+        """Answered-task throughput (cache hits included) over the
+        engine's lifetime — a fully cached run is fast, not idle."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.tasks_total / self.wall_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable account of the engine's work."""
+        return (
+            f"{self.tasks_total} tasks ({self.cache_hits} cached, "
+            f"{self.tasks_executed} executed) in {self.wall_seconds:.2f}s "
+            f"on {self.jobs} worker(s) — {self.tasks_per_second:.1f} tasks/s"
+        )
+
+
+class ExecutionEngine:
+    """Cached, seeded, multi-process task runner.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` uses every available core, ``1`` forces
+        the sequential in-process backend.
+    cache:
+        Result cache instance; built at the default location when omitted
+        and ``use_cache`` is set.
+    use_cache:
+        Master switch for the on-disk cache (the CLI's ``--no-cache``).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+        use_cache: bool = True,
+    ):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.cache = (cache if cache is not None else ResultCache()) if use_cache else None
+        self.stats = EngineStats(jobs=self.jobs)
+
+    # ------------------------------------------------------------------ #
+    # Flat batches
+    # ------------------------------------------------------------------ #
+    def map_calls(
+        self,
+        fn: Callable[..., Any],
+        kwargs_list: Sequence[dict[str, Any]],
+        *,
+        name: str = "task",
+        cacheable: bool = True,
+    ) -> list[Any]:
+        """Run ``fn(**kwargs)`` for every kwargs dict, preserving order.
+
+        This is the duck-typed ``executor`` hook consumed by the ``core``
+        sweep entry points.
+        """
+        tasks = [Task(name=name, fn=fn, params=kw, cacheable=cacheable) for kw in kwargs_list]
+        return self.run_tasks(tasks)
+
+    def run_tasks(self, tasks: Sequence[Task]) -> list[Any]:
+        """Execute a batch of independent tasks, results in input order."""
+        started = time.perf_counter()
+        results: list[Any] = [None] * len(tasks)
+
+        pending: list[int] = []
+        keys: dict[int, str] = {}
+        _MISS = object()
+        for index, task in enumerate(tasks):
+            # An explicit seed=None marks a task as intentionally
+            # non-deterministic (fresh OS entropy) — replaying a cached
+            # result would silently freeze its randomness.
+            stochastic = "seed" in task.params and task.params["seed"] is None
+            if (
+                self.cache is not None
+                and task.cacheable
+                and not stochastic
+                and not task.inject
+                and _fn_cache_safe(task.fn)
+            ):
+                key = self.cache.key_for(
+                    task.name, dict(task.params), code_version_token(task.fn)
+                )
+                keys[index] = key
+                cached = self.cache.get(key, _MISS)
+                if cached is not _MISS:
+                    results[index] = cached
+                    self.stats.cache_hits += 1
+                    continue
+            pending.append(index)
+
+        durations = self._execute(tasks, pending, results)
+        for index in durations:
+            if index in keys:
+                self.cache.put(keys[index], results[index])
+
+        elapsed = time.perf_counter() - started
+        self.stats.tasks_total += len(tasks)
+        self.stats.tasks_executed += len(pending)
+        self.stats.wall_seconds += elapsed
+        for index, seconds in durations.items():
+            self.stats.seconds_by_family[tasks[index].name] += seconds
+        return results
+
+    def _execute(
+        self, tasks: Sequence[Task], pending: list[int], results: list[Any]
+    ) -> dict[int, float]:
+        """Run the cache misses; returns per-task execution seconds by index.
+
+        Exceptions raised by a task function always propagate to the
+        caller (from either backend).  The sequential fallback is reserved
+        for infrastructure problems only: an unpicklable task function
+        (detected up front) or an environment that cannot sustain worker
+        processes.
+        """
+        durations: dict[int, float] = {}
+        if not pending:
+            return durations
+        if self.jobs > 1 and len(pending) > 1 and self._fns_picklable(tasks, pending):
+            try:
+                pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+            except OSError:
+                pool = None  # process creation refused: sequential fallback
+            if pool is not None:
+                broken = False
+                try:
+                    with pool:
+                        futures = {
+                            index: pool.submit(
+                                _invoke, tasks[index].fn, dict(tasks[index].params)
+                            )
+                            for index in pending
+                        }
+                        for index, future in futures.items():
+                            try:
+                                durations[index], results[index] = future.result()
+                            except BrokenProcessPool as exc:
+                                if _workers_can_start():
+                                    # The environment can run workers, so
+                                    # the pool broke because a task killed
+                                    # its worker (OOM, native crash).
+                                    # Re-running in the parent would
+                                    # repeat the damage; surface it.  The
+                                    # broken pool cannot say WHICH task
+                                    # died, so name the batch.
+                                    families = sorted(
+                                        {tasks[i].name for i in pending}
+                                    )
+                                    raise RuntimeError(
+                                        "a worker process died while "
+                                        "executing this batch (task "
+                                        f"families: {', '.join(families)}); "
+                                        "not retrying sequentially (a task "
+                                        "may have exhausted memory or "
+                                        "crashed native code)"
+                                    ) from exc
+                                # Workers cannot start at all (sandboxed
+                                # environment) — use the sequential
+                                # backend.  Task exceptions propagate
+                                # untouched.
+                                broken = True
+                                break
+                except BrokenProcessPool:
+                    broken = True  # raised by pool shutdown itself
+                if not broken:
+                    return durations
+                durations.clear()
+        for index in pending:
+            started = time.perf_counter()
+            results[index] = tasks[index].run()
+            durations[index] = time.perf_counter() - started
+        return durations
+
+    @staticmethod
+    def _fns_picklable(tasks: Sequence[Task], pending: list[int]) -> bool:
+        """Cheap up-front check that every task function crosses processes.
+
+        Functions pickle by reference, so this catches lambdas and
+        closures without serialising any (potentially large) parameters.
+        """
+        for fn in {tasks[index].fn for index in pending}:
+            try:
+                pickle.dumps(fn)
+            except (pickle.PicklingError, AttributeError, TypeError):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Graphs
+    # ------------------------------------------------------------------ #
+    def run_graph(self, graph: TaskGraph) -> dict[str, Any]:
+        """Execute a task graph generation by generation.
+
+        Returns a mapping ``task id -> result``.  Tasks inside one
+        generation run in parallel; dependency results are injected into
+        dependants' parameters per their ``inject`` mapping.
+        """
+        results: dict[str, Any] = {}
+        for generation in graph.generations():
+            tasks = []
+            for task_id in generation:
+                task = graph.task(task_id)
+                if task.inject:
+                    params = dict(task.params)
+                    for param, dep_id in task.inject.items():
+                        params[param] = results[dep_id]
+                    task = Task(
+                        name=task.name, fn=task.fn, params=params, cacheable=False
+                    )
+                tasks.append(task)
+            for task_id, result in zip(generation, self.run_tasks(tasks)):
+                results[task_id] = result
+        return results

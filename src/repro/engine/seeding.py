@@ -1,0 +1,28 @@
+"""Deterministic per-task seed derivation.
+
+Every sweep derives one child seed per parameter point from its master seed
+with ``np.random.SeedSequence.spawn``.  Child seeds depend only on the
+master seed and the point's position in the sweep — never on execution
+order — which is what makes a parallel run bit-identical to a sequential
+one.  Child seeds are plain Python ints so they pickle across processes
+and participate in cache keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_seeds"]
+
+
+def spawn_seeds(seed: int | None, count: int) -> list[int | None]:
+    """Derive ``count`` independent child seeds from a master seed.
+
+    ``None`` propagates: with no master seed every child is ``None`` and the
+    consuming code falls back to fresh OS entropy (explicitly
+    non-reproducible, as before).
+    """
+    if seed is None:
+        return [None] * count
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]

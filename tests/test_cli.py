@@ -1,0 +1,86 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.registry import EXPERIMENTS, build_study
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the on-disk cache at a throwaway directory for every test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestRegistryContents:
+    def test_all_ten_experiments_registered(self):
+        assert set(EXPERIMENTS.names()) == {
+            "fig3", "table1", "fig4", "fig6", "sec5c",
+            "fig7", "fig8", "fig9", "fig10", "table2",
+        }
+
+    def test_aliases_resolve(self):
+        assert EXPERIMENTS.get("yield").name == "fig4"
+        assert EXPERIMENTS.get("mcm").name == "fig8"
+        assert EXPERIMENTS.get("apps").name == "fig10"
+
+    def test_build_study_respects_seed_and_batch(self):
+        study = build_study(seed=5, batch_size=123)
+        assert study.config.seed == 5
+        assert study.config.chiplet_batch_size == 123
+
+
+class TestCLI:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table2" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out and "[engine]" in out
+
+    def test_run_fig7_quiet(self, capsys):
+        assert main(["run", "fig7", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "bin centre" not in out
+        assert "[engine]" in out
+
+    def test_run_fig4_seeded_runs_match_across_jobs(self, capsys):
+        args = ["run", "fig4", "--seed", "7", "--batch", "120", "--no-cache"]
+        assert main([*args, "--jobs", "1"]) == 0
+        seq = capsys.readouterr().out
+        assert main([*args, "--jobs", "2"]) == 0
+        par = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("[engine]")
+        ]
+        assert strip(seq) == strip(par)
+
+    def test_run_fig4_caches_results(self, capsys):
+        args = ["run", "fig4", "--seed", "3", "--batch", "100", "--jobs", "1", "--quiet"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "(0 cached" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "132 cached" in second
+
+    def test_cache_info_and_clear(self, capsys):
+        main(["run", "fig4", "--seed", "3", "--batch", "50", "--jobs", "1", "--quiet"])
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        assert "entries: 132" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 132" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out

@@ -81,6 +81,67 @@ class TestMonolithicResults:
         assert device.num_edges == len(device.edge_errors)
 
 
+class TestPrefetch:
+    def test_prefetch_tolerates_duplicate_requests(self, cx_model):
+        from repro.engine import ExecutionEngine
+
+        config = StudyConfig(
+            chiplet_batch_size=60,
+            monolithic_batch_size=60,
+            chiplet_sizes=(10,),
+            seed=5,
+        )
+        study = ArchitectureStudy(
+            config, cx_model=cx_model, engine=ExecutionEngine(jobs=1, use_cache=False)
+        )
+        study.prefetch(
+            chiplet_sizes=(10, 10),
+            mcm_grids=[(10, (2, 2)), (10, (2, 2))],
+            monolithic_sizes=(40, 40),
+        )
+        assert (10, 2, 2) in study._mcm_results
+        assert 40 in study._monolithic_results
+
+    def test_prefetch_matches_lazy_results(self, cx_model):
+        from repro.engine import ExecutionEngine
+
+        config = StudyConfig(
+            chiplet_batch_size=60,
+            monolithic_batch_size=60,
+            chiplet_sizes=(10,),
+            seed=5,
+        )
+        lazy = ArchitectureStudy(config, cx_model=cx_model)
+        eager = ArchitectureStudy(
+            config, cx_model=cx_model, engine=ExecutionEngine(jobs=2, use_cache=False)
+        )
+        eager.prefetch(
+            chiplet_sizes=(10,),
+            mcm_grids=[(10, (2, 2)), (10, (2, 3))],
+            monolithic_sizes=(40,),
+        )
+        assert (
+            eager.monolithic_result(40).collision_free_yield
+            == lazy.monolithic_result(40).collision_free_yield
+        )
+        assert (
+            eager.chiplet_bin(10).collision_free_yield
+            == lazy.chiplet_bin(10).collision_free_yield
+        )
+        # The grouped wave-2 task must reproduce per-grid lazy assembly
+        # exactly (independent rng keying per grid inside one task).
+        for grid in ((2, 2), (2, 3)):
+            eager_mcm = eager.mcm_result(10, grid)
+            lazy_mcm = lazy.mcm_result(10, grid)
+            assert eager_mcm.post_assembly_yield == lazy_mcm.post_assembly_yield
+            assert np.array_equal(
+                eager_mcm.on_chip_error_sums, lazy_mcm.on_chip_error_sums
+            )
+            assert np.array_equal(
+                eager_mcm.link_error_sums, lazy_mcm.link_error_sums
+            )
+
+
 class TestConfig:
     def test_default_config_matches_paper(self):
         config = StudyConfig()
