@@ -1,8 +1,34 @@
-"""Setup shim for environments without the `wheel` package (offline installs).
+"""Package metadata for the `repro` reproduction.
 
-All project metadata lives in pyproject.toml; this file only enables legacy
-`pip install -e . --no-use-pep517` / `python setup.py develop` workflows.
+Kept as a plain setup.py (no build-system requirements beyond
+setuptools) so offline `pip install -e .` / `python setup.py develop`
+workflows keep working in hermetic environments.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Scaling Superconducting Quantum Computers with "
+        "Chiplet Architectures' (MICRO 2022): collision-limited yield, "
+        "chiplet/MCM architecture evaluation, parallel experiment engine, "
+        "adaptive Monte-Carlo statistics"
+    ),
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-cov",
+            "hypothesis",
+        ],
+    },
+)

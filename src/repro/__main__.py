@@ -8,7 +8,11 @@ Subcommands
     (``1`` forces the sequential backend; results are bit-identical),
     ``--seed S`` overrides the experiment's master seed, ``--no-cache``
     bypasses the on-disk result cache and ``--batch B`` scales the
-    Monte-Carlo batches.
+    Monte-Carlo batches.  The statistics flags select the adaptive
+    Monte-Carlo layer: ``--chunk-size C`` streams every yield point in
+    O(C) memory, ``--ci-target H`` keeps sampling each point until its
+    confidence-interval half-width is at most ``H`` (capped by
+    ``--max-samples``, default: the batch size).
 ``list``
     Show every registered experiment.
 ``cache clear``
@@ -20,6 +24,7 @@ Examples
 
     python -m repro list
     python -m repro run fig4 --jobs 4 --seed 7
+    python -m repro run fig4 --ci-target 0.02 --chunk-size 250 --max-samples 4000
     python -m repro run fig8 --jobs 4 --batch 2000
     python -m repro cache clear
 """
@@ -32,6 +37,7 @@ import time
 
 from repro.analysis.registry import EXPERIMENTS
 from repro.engine import ExecutionEngine, ResultCache
+from repro.stats import StatsOptions
 
 __all__ = ["main"]
 
@@ -67,6 +73,27 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="Monte-Carlo batch size override",
+    )
+    run.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="stream yield Monte-Carlo in chunks of this many devices "
+        "(O(chunk) instead of O(batch) memory)",
+    )
+    run.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        help="adaptive sampling: draw chunks until the yield CI "
+        "half-width is at most this value",
+    )
+    run.add_argument(
+        "--max-samples",
+        type=int,
+        default=None,
+        help="hard per-point sample cap for --ci-target runs "
+        "(default: the batch size)",
     )
     run.add_argument(
         "--full",
@@ -110,10 +137,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
 
+    stats = None
+    if (
+        args.chunk_size is not None
+        or args.ci_target is not None
+        or args.max_samples is not None
+    ):
+        try:
+            stats = StatsOptions(
+                chunk_size=args.chunk_size,
+                ci_target=args.ci_target,
+                max_samples=args.max_samples,
+            )
+        except ValueError as exc:
+            print(f"invalid statistics options: {exc}", file=sys.stderr)
+            return 2
+        if not spec.stats_aware:
+            print(
+                f"warning: experiment {spec.name!r} does not use the "
+                "statistics options; --chunk-size/--ci-target/--max-samples "
+                "have no effect on it",
+                file=sys.stderr,
+            )
+
     engine = ExecutionEngine(jobs=args.jobs, use_cache=not args.no_cache)
     started = time.perf_counter()
     result, text = spec.runner(
-        engine, seed=args.seed, batch_size=args.batch, full=args.full
+        engine, seed=args.seed, batch_size=args.batch, full=args.full, stats=stats
     )
     elapsed = time.perf_counter() - started
 

@@ -16,9 +16,15 @@ __all__ = ["Fig8Result", "run_fig8_yield_comparison"]
 
 @dataclass
 class Fig8Result:
-    """Yield-vs-qubits series for monolithic and MCM architectures."""
+    """Yield-vs-qubits series for monolithic and MCM architectures.
+
+    ``monolithic_ci`` mirrors ``monolithic`` with per-size binomial
+    confidence bounds ``(size, ci_low, ci_high)`` from the underlying
+    Monte-Carlo :class:`~repro.core.yield_model.YieldResult`.
+    """
 
     monolithic: list[tuple[int, float]] = field(default_factory=list)
+    monolithic_ci: list[tuple[int, float, float]] = field(default_factory=list)
     chiplet_yields: dict[int, float] = field(default_factory=dict)
     mcm_series: dict[int, list[tuple[int, float, float]]] = field(default_factory=dict)
     yield_improvements: dict[int, float] = field(default_factory=dict)
@@ -68,6 +74,10 @@ def run_fig8_yield_comparison(
     for size in sorted(monolithic_sizes):
         mono = study.monolithic_result(size)
         result.monolithic.append((size, mono.collision_free_yield))
+        if mono.yield_result is not None:
+            result.monolithic_ci.append(
+                (size, mono.yield_result.ci_low, mono.yield_result.ci_high)
+            )
 
     for chiplet_size in sizes:
         chiplet_bin = study.chiplet_bin(chiplet_size)

@@ -1,10 +1,16 @@
-"""Section V-C — fabrication-output comparison (the ~7.7x worked example)."""
+"""Section V-C — fabrication-output comparison (the ~7.7x worked example).
+
+The two input yields come from Monte-Carlo runs, so the comparison now
+carries their binomial confidence intervals through Eq. 1: device counts
+and the output gain are reported with conservative error bars.
+"""
 
 from __future__ import annotations
 
 from repro.core.fabrication import SIGMA_LASER_TUNED_GHZ
-from repro.core.output_model import compare_fabrication_output
+from repro.core.output_model import fabrication_output_from_results
 from repro.core.yield_model import yield_vs_qubits
+from repro.stats import StatsOptions
 
 __all__ = ["run_sec5c_fabrication_output"]
 
@@ -17,6 +23,7 @@ def run_sec5c_fabrication_output(
     sigma_ghz: float = SIGMA_LASER_TUNED_GHZ,
     seed: int = 7,
     engine=None,
+    stats: StatsOptions | None = None,
 ):
     """Regenerate the Section V-C worked example (about a 7.7x output gain)."""
     curve = yield_vs_qubits(
@@ -26,15 +33,12 @@ def run_sec5c_fabrication_output(
         batch_size=batch_size,
         seed=seed,
         executor=engine,
+        stats=stats,
     )
-    chiplet_yield = curve.yield_at(chiplet_qubits)
-    monolithic_yield = curve.yield_at(monolithic_qubits)
-    return compare_fabrication_output(
-        monolithic_yield=monolithic_yield,
-        chiplet_yield=chiplet_yield,
-        batch_size=batch_size,
-        monolithic_qubits=monolithic_qubits,
-        chiplet_qubits=chiplet_qubits,
+    return fabrication_output_from_results(
+        monolithic_result=curve.at_size(monolithic_qubits),
+        chiplet_result=curve.at_size(chiplet_qubits),
         grid_rows=grid[0],
         grid_cols=grid[1],
+        batch_size=batch_size,
     )

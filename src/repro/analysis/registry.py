@@ -3,13 +3,17 @@
 Each figure/table driver is registered under its paper name with a
 uniform runner signature::
 
-    runner(engine, seed=None, batch_size=None, full=False) -> (result, text)
+    runner(engine, seed=None, batch_size=None, full=False, stats=None)
+        -> (result, text)
 
 ``engine`` is an :class:`repro.engine.ExecutionEngine` (or ``None`` for
 plain in-process execution), ``seed`` overrides the experiment's default
-master seed, ``batch_size`` scales the Monte-Carlo batches and ``full``
-requests the paper-sized configuration sweep where one exists.  ``text``
-is the human-readable rendering the CLI prints.
+master seed, ``batch_size`` scales the Monte-Carlo batches, ``full``
+requests the paper-sized configuration sweep where one exists, and
+``stats`` is an optional :class:`repro.stats.StatsOptions` (the CLI's
+``--chunk-size`` / ``--ci-target`` / ``--max-samples``) threaded into
+the yield Monte-Carlo where the experiment has one.  ``text`` is the
+human-readable rendering the CLI prints.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.study import ArchitectureStudy, StudyConfig
 from repro.core.chiplet import PAPER_CHIPLET_SIZES
 from repro.engine import ExperimentRegistry
+from repro.stats import StatsOptions
 
 __all__ = ["EXPERIMENTS", "build_study"]
 
@@ -62,26 +67,33 @@ def build_study(
     return ArchitectureStudy(config, engine=engine)
 
 
-def _fig3(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _fig3(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     result = run_fig3_processor_trends(seed=seed if seed is not None else 11)
     return result, result.format_table()
 
 
-def _table1(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _table1(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     result = run_table1_collision_criteria()
     return result, result.format_table()
 
 
-def _fig4(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _fig4(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     result = run_fig4_yield_sweep(
         batch_size=batch_size or 1000,
         seed=seed if seed is not None else 7,
         engine=engine,
+        stats=stats,
     )
+    if stats is not None and not stats.is_default:
+        text = (
+            result.format_ci_table()
+            + f"\ntotal Monte-Carlo samples: {result.samples_used()}"
+        )
+        return result, text
     return result, result.format_table()
 
 
-def _fig6(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _fig6(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     points = run_fig6_configurations(
         batch_size=batch_size or 100_000,
         seed=seed if seed is not None else 7,
@@ -97,21 +109,26 @@ def _fig6(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
     return points, text
 
 
-def _sec5c(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     result = run_sec5c_fabrication_output(
         batch_size=batch_size or 1000,
         seed=seed if seed is not None else 7,
         engine=engine,
+        stats=stats,
     )
     text = (
         f"monolithic devices: {result.monolithic_devices:.1f}\n"
         f"MCM devices (upper bound): {result.mcm_devices:.1f}\n"
         f"fabrication-output gain: {result.gain:.2f}x"
     )
+    if result.gain_ci is not None:
+        low, high = result.gain_ci
+        high_text = "inf" if high == float("inf") else f"{high:.2f}"
+        text += f"\ngain CI (conservative): [{low:.2f}, {high_text}]x"
     return result, text
 
 
-def _fig7(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _fig7(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     result = run_fig7_detuning_model(seed=seed if seed is not None else 11)
     summary = (
         f"median {result.median:.4f}, mean {result.mean:.4f} "
@@ -120,13 +137,13 @@ def _fig7(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
     return result, summary + result.format_table()
 
 
-def _fig8(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _fig8(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig8_yield_comparison(study)
     return result, result.format_table()
 
 
-def _fig9(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _fig9(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig9_infidelity_heatmap(study)
     sections = []
@@ -136,7 +153,7 @@ def _fig9(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
     return result, "\n".join(sections)
 
 
-def _fig10(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _fig10(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig10_applications(
         study, square_only=not full, seed=seed if seed is not None else 5
@@ -144,7 +161,7 @@ def _fig10(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
     return result, result.format_table()
 
 
-def _table2(engine, seed=None, batch_size=None, full=False) -> tuple[Any, str]:
+def _table2(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
     sizes = (10, 20, 40, 60, 90) if full else (10, 20, 40)
     result = run_table2_compiled_benchmarks(
         chiplet_sizes=sizes,
@@ -165,12 +182,16 @@ EXPERIMENTS.register(
     "Fig. 4: collision-free yield vs. qubits (parallel Monte-Carlo grid)",
     _fig4,
     aliases=("yield",),
+    stats_aware=True,
 )
 EXPERIMENTS.register(
     "fig6", "Fig. 6: configuration counting and assembled-MCM bound", _fig6
 )
 EXPERIMENTS.register(
-    "sec5c", "Section V-C: fabrication-output gain of chiplets", _sec5c
+    "sec5c",
+    "Section V-C: fabrication-output gain of chiplets",
+    _sec5c,
+    stats_aware=True,
 )
 EXPERIMENTS.register(
     "fig7", "Fig. 7: detuning-binned empirical CX error model", _fig7

@@ -33,7 +33,7 @@ from repro.core.fabrication import FabricationModel, SIGMA_LASER_TUNED_GHZ
 from repro.core.fidelity import LinkScenario, default_link_scenarios
 from repro.core.frequencies import FrequencySpec, allocate_heavy_hex_frequencies
 from repro.core.mcm import MCMDesign, MAX_SYSTEM_QUBITS
-from repro.core.yield_model import simulate_yield_with_devices
+from repro.core.yield_model import YieldResult, simulate_yield_with_devices
 from repro.device.device import Device
 from repro.device.noise import EmpiricalCXModel
 from repro.device.calibration import washington_cx_model
@@ -90,6 +90,10 @@ class MonolithicResult:
         Device size.
     collision_free_yield:
         Fraction of the batch with no frequency collision.
+    yield_result:
+        The full Monte-Carlo :class:`~repro.core.yield_model.YieldResult`
+        behind that fraction, carrying the binomial confidence interval
+        (``ci_low``/``ci_high``) and the sample count.
     eavg:
         Mean (over surviving devices) of the per-device average two-qubit
         infidelity; ``nan`` when the yield is zero.
@@ -102,6 +106,7 @@ class MonolithicResult:
     collision_free_yield: float
     eavg: float
     representative_device: Device | None
+    yield_result: "YieldResult | None" = None
 
 
 @dataclass
@@ -337,6 +342,7 @@ def compute_monolithic_result(
         collision_free_yield=yield_result.collision_free_yield,
         eavg=eavg,
         representative_device=representative,
+        yield_result=yield_result,
     )
 
 

@@ -16,12 +16,17 @@ gives an output gain of roughly 7.7x.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular at runtime: yield_model imports nothing from here
+    from repro.core.yield_model import YieldResult
 
 __all__ = [
     "FabricationOutput",
     "mcm_output_upper_bound",
     "monolithic_output",
     "compare_fabrication_output",
+    "fabrication_output_from_results",
 ]
 
 
@@ -35,6 +40,10 @@ class FabricationOutput:
         Expected number of collision-free monolithic devices (``Y_m * B``).
     mcm_devices:
         Upper bound on the number of complete MCMs (Eq. 1).
+    monolithic_yield_ci, chiplet_yield_ci:
+        Optional ``(low, high)`` binomial confidence intervals on the two
+        input yields (present when the yields came from Monte-Carlo
+        :class:`~repro.core.yield_model.YieldResult` objects).
     gain:
         ``mcm_devices / monolithic_devices`` (``inf`` when the monolithic
         yield is zero).
@@ -49,6 +58,8 @@ class FabricationOutput:
     chiplet_yield: float
     monolithic_devices: float
     mcm_devices: float
+    monolithic_yield_ci: tuple[float, float] | None = None
+    chiplet_yield_ci: tuple[float, float] | None = None
 
     @property
     def gain(self) -> float:
@@ -56,6 +67,46 @@ class FabricationOutput:
         if self.monolithic_devices == 0:
             return float("inf")
         return self.mcm_devices / self.monolithic_devices
+
+    @property
+    def monolithic_devices_ci(self) -> tuple[float, float] | None:
+        """Device-count interval implied by the monolithic yield CI."""
+        if self.monolithic_yield_ci is None:
+            return None
+        low, high = self.monolithic_yield_ci
+        return (low * self.batch_size, high * self.batch_size)
+
+    @property
+    def mcm_devices_ci(self) -> tuple[float, float] | None:
+        """MCM-count interval implied by the chiplet yield CI (Eq. 1)."""
+        if self.chiplet_yield_ci is None:
+            return None
+        low, high = self.chiplet_yield_ci
+        eq1 = lambda y: mcm_output_upper_bound(
+            y,
+            self.batch_size,
+            self.monolithic_qubits,
+            self.chiplet_qubits,
+            self.grid_rows,
+            self.grid_cols,
+        )
+        return (eq1(low), eq1(high))
+
+    @property
+    def gain_ci(self) -> tuple[float, float] | None:
+        """Conservative interval on the output gain.
+
+        Worst case over both input intervals: lowest MCM count against
+        the highest monolithic count, and vice versa (``inf`` when the
+        monolithic bound reaches zero).
+        """
+        mcm_ci = self.mcm_devices_ci
+        mono_ci = self.monolithic_devices_ci
+        if mcm_ci is None or mono_ci is None:
+            return None
+        low = mcm_ci[0] / mono_ci[1] if mono_ci[1] > 0 else float("inf")
+        high = mcm_ci[1] / mono_ci[0] if mono_ci[0] > 0 else float("inf")
+        return (low, high)
 
 
 def mcm_output_upper_bound(
@@ -92,6 +143,8 @@ def compare_fabrication_output(
     chiplet_qubits: int,
     grid_rows: int,
     grid_cols: int,
+    monolithic_yield_ci: tuple[float, float] | None = None,
+    chiplet_yield_ci: tuple[float, float] | None = None,
 ) -> FabricationOutput:
     """Full Section V-C comparison for one (monolith, chiplet, MCM) triple."""
     if grid_rows * grid_cols * chiplet_qubits != monolithic_qubits:
@@ -115,4 +168,35 @@ def compare_fabrication_output(
             grid_rows,
             grid_cols,
         ),
+        monolithic_yield_ci=monolithic_yield_ci,
+        chiplet_yield_ci=chiplet_yield_ci,
+    )
+
+
+def fabrication_output_from_results(
+    monolithic_result: "YieldResult",
+    chiplet_result: "YieldResult",
+    grid_rows: int,
+    grid_cols: int,
+    batch_size: int | None = None,
+) -> FabricationOutput:
+    """Section V-C comparison straight from two Monte-Carlo yield results.
+
+    Wires the results' confidence intervals into the output comparison,
+    so the worked example reports device counts and the ~7.7x gain with
+    error bars.  ``batch_size`` defaults to the monolithic result's
+    sample count (for adaptive runs the two results may have used
+    different sample counts; the wafer budget ``B`` of Eq. 1 is a free
+    parameter, not tied to either).
+    """
+    return compare_fabrication_output(
+        monolithic_yield=monolithic_result.estimate,
+        chiplet_yield=chiplet_result.estimate,
+        batch_size=batch_size if batch_size is not None else monolithic_result.samples_used,
+        monolithic_qubits=monolithic_result.num_qubits,
+        chiplet_qubits=chiplet_result.num_qubits,
+        grid_rows=grid_rows,
+        grid_cols=grid_cols,
+        monolithic_yield_ci=(monolithic_result.ci_low, monolithic_result.ci_high),
+        chiplet_yield_ci=(chiplet_result.ci_low, chiplet_result.ci_high),
     )

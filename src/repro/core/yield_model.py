@@ -3,24 +3,36 @@
 The simulation virtually fabricates a batch of heavy-hex devices, samples
 their qubit frequencies from the fabrication model, evaluates the seven
 Table I collision criteria, and reports the fraction of devices with no
-collision — the *collision-free yield*.
+collision — the *collision-free yield*.  Every :class:`YieldResult` now
+carries a binomial confidence interval (Wilson by default) alongside the
+point estimate.
 
 Key entry points
 ----------------
 :func:`simulate_yield`
     Yield for one topology / one (sigma_f, step) parameter point.
+:func:`simulate_yield_streaming`
+    The same estimate in O(chunk) instead of O(batch) memory, from
+    spawn-seeded chunks (bit-identical to the monolithic batch).
+:func:`simulate_yield_adaptive`
+    Chunked sampling with an adaptive stopping rule: draw chunks until
+    the CI half-width reaches a target or a hard sample cap.
 :func:`yield_vs_qubits`
     Yield curve over a range of device sizes (one curve of Fig. 4).
 :func:`detuning_sweep`
     The full Fig. 4 grid: yield vs. qubits for several detuning steps and
     fabrication precisions.
 
-Both sweep entry points accept an ``executor`` hook — any object with a
+The sweep entry points accept an ``executor`` hook — any object with a
 ``map_calls(fn, kwargs_list, name=...)`` method, in practice a
 :class:`repro.engine.ExecutionEngine` — and submit one task per
 (sigma, step, size) point.  Each point derives its own seed from the
 master seed by position (``np.random.SeedSequence.spawn``), so parallel
-and sequential runs are bit-identical at the same seed.
+and sequential runs are bit-identical at the same seed.  Within one
+point, the chunked estimators derive per-chunk seeds the same way (see
+:mod:`repro.stats.streaming`), so a streamed, adaptive, or
+chunk-parallel run observes literally the same samples as materialising
+the whole batch at once.
 """
 
 from __future__ import annotations
@@ -43,6 +55,16 @@ from repro.core.frequencies import (
 # deps); core calls nothing beyond these two helpers at runtime.
 from repro.engine.dispatch import run_calls as _run_points
 from repro.engine.seeding import spawn_seeds as _point_seeds
+from repro.stats import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_CONFIDENCE,
+    StatsOptions,
+    StreamingEstimator,
+    adaptive_estimate,
+    binomial_ci,
+    chunk_layout,
+    chunk_seed,
+)
 from repro.topology.heavy_hex import HeavyHexLattice, heavy_hex_by_qubit_count
 
 __all__ = [
@@ -51,6 +73,11 @@ __all__ = [
     "simulate_yield",
     "simulate_yield_point",
     "simulate_yield_with_devices",
+    "simulate_yield_streaming",
+    "simulate_yield_adaptive",
+    "simulate_yield_chunk",
+    "simulate_yield_chunks",
+    "materialize_seeded_batch",
     "yield_vs_qubits",
     "detuning_sweep",
     "DEFAULT_BATCH_SIZE",
@@ -69,7 +96,7 @@ DEFAULT_SIZE_GRID = (
 
 @dataclass(frozen=True)
 class YieldResult:
-    """Collision-free yield at a single parameter point.
+    """Collision-free yield at a single parameter point, with error bars.
 
     Attributes
     ----------
@@ -80,9 +107,19 @@ class YieldResult:
     step_ghz:
         Ideal detuning between F0/F1/F2.
     batch_size:
-        Number of simulated devices.
+        Number of simulated devices (for adaptive runs: the samples the
+        stopping rule actually drew, also exposed as ``samples_used``).
     num_collision_free:
         Devices that passed every Table I criterion.
+    ci_low, ci_high:
+        Binomial confidence interval on the yield.  Computed from the
+        counts on construction when not supplied, so every result —
+        whatever path produced it — satisfies
+        ``ci_low <= estimate <= ci_high``.
+    confidence:
+        Two-sided confidence level of the interval.
+    ci_method:
+        Interval construction (``"wilson"`` or ``"jeffreys"``).
     """
 
     num_qubits: int
@@ -90,11 +127,45 @@ class YieldResult:
     step_ghz: float
     batch_size: int
     num_collision_free: int
+    ci_low: float | None = None
+    ci_high: float | None = None
+    confidence: float = DEFAULT_CONFIDENCE
+    ci_method: str = "wilson"
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not 0 <= self.num_collision_free <= self.batch_size:
+            raise ValueError("num_collision_free must lie in [0, batch_size]")
+        if self.ci_low is None or self.ci_high is None:
+            interval = binomial_ci(
+                self.num_collision_free,
+                self.batch_size,
+                confidence=self.confidence,
+                method=self.ci_method,
+            )
+            object.__setattr__(self, "ci_low", interval.low)
+            object.__setattr__(self, "ci_high", interval.high)
 
     @property
     def collision_free_yield(self) -> float:
         """Fraction of devices with no frequency collision."""
         return self.num_collision_free / self.batch_size
+
+    @property
+    def estimate(self) -> float:
+        """The point estimate the interval brackets (alias)."""
+        return self.collision_free_yield
+
+    @property
+    def samples_used(self) -> int:
+        """Monte-Carlo samples behind the estimate (alias of batch_size)."""
+        return self.batch_size
+
+    @property
+    def ci_half_width(self) -> float:
+        """Half-width of the confidence interval."""
+        return (self.ci_high - self.ci_low) / 2.0
 
 
 @dataclass
@@ -153,6 +224,8 @@ def simulate_yield(
     batch_size: int = DEFAULT_BATCH_SIZE,
     rng: np.random.Generator | None = None,
     thresholds: CollisionThresholds | None = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+    ci_method: str = "wilson",
 ) -> YieldResult:
     """Monte-Carlo collision-free yield for one topology.
 
@@ -168,6 +241,8 @@ def simulate_yield(
         Source of randomness (a fresh default generator when omitted).
     thresholds:
         Collision windows; defaults to the Table I values.
+    confidence, ci_method:
+        Parameters of the confidence interval attached to the result.
     """
     rng = rng or np.random.default_rng()
     frequencies = fabrication.sample_batch(allocation, batch_size, rng)
@@ -178,6 +253,8 @@ def simulate_yield(
         step_ghz=allocation.spec.step_ghz,
         batch_size=batch_size,
         num_collision_free=int(mask.sum()),
+        confidence=confidence,
+        ci_method=ci_method,
     )
 
 
@@ -211,6 +288,207 @@ def simulate_yield_with_devices(
     return result, frequencies[mask]
 
 
+# ---------------------------------------------------------------------- #
+# Chunked sampling: the spawn-seeded scheme shared by every estimator
+# ---------------------------------------------------------------------- #
+def _chunk_frequencies(
+    allocation: FrequencyAllocation,
+    fabrication: FabricationModel,
+    length: int,
+    seed: int | None,
+    chunk_index: int,
+) -> np.ndarray:
+    """Fabricate one spawn-seeded chunk of ``length`` devices."""
+    rng = np.random.default_rng(chunk_seed(seed, chunk_index))
+    return fabrication.sample_batch(allocation, length, rng)
+
+
+def materialize_seeded_batch(
+    allocation: FrequencyAllocation,
+    fabrication: FabricationModel,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int | None = None,
+) -> np.ndarray:
+    """The *monolithic* reference batch of the chunked sampling scheme.
+
+    Concatenates every spawn-seeded chunk into one
+    ``(batch_size, num_qubits)`` array — O(batch) memory, exactly what
+    :func:`simulate_yield_streaming` reduces chunk by chunk.  The parity
+    tests pin the streamed, adaptive and chunk-parallel estimators to
+    this array bit for bit.
+    """
+    chunks = [
+        _chunk_frequencies(allocation, fabrication, length, seed, index)
+        for index, length in enumerate(chunk_layout(batch_size, chunk_size))
+    ]
+    return np.concatenate(chunks, axis=0)
+
+
+def simulate_yield_streaming(
+    allocation: FrequencyAllocation,
+    fabrication: FabricationModel,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int | None = None,
+    thresholds: CollisionThresholds | None = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+    ci_method: str = "wilson",
+) -> YieldResult:
+    """Streaming chunked yield estimate in O(chunk_size) memory.
+
+    Fabricate -> collision-mask -> reduce one chunk at a time: peak
+    memory is one ``(chunk_size, num_qubits)`` array instead of the full
+    ``(batch_size, num_qubits)`` batch, and the result is bit-identical
+    to reducing :func:`materialize_seeded_batch` at the same
+    ``(seed, chunk_size)``.
+    """
+    estimator = StreamingEstimator(confidence=confidence, method=ci_method)
+    for index, length in enumerate(chunk_layout(batch_size, chunk_size)):
+        frequencies = _chunk_frequencies(
+            allocation, fabrication, length, seed, index
+        )
+        mask = collision_free_mask(allocation, frequencies, thresholds)
+        estimator.update(int(mask.sum()), length)
+    return YieldResult(
+        num_qubits=allocation.num_qubits,
+        sigma_ghz=fabrication.sigma_ghz,
+        step_ghz=allocation.spec.step_ghz,
+        batch_size=estimator.trials,
+        num_collision_free=estimator.successes,
+        confidence=confidence,
+        ci_method=ci_method,
+    )
+
+
+def simulate_yield_adaptive(
+    allocation: FrequencyAllocation,
+    fabrication: FabricationModel,
+    ci_target: float,
+    max_samples: int = DEFAULT_BATCH_SIZE,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int | None = None,
+    thresholds: CollisionThresholds | None = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+    ci_method: str = "wilson",
+) -> YieldResult:
+    """Adaptive yield estimate: sample until the CI is tight enough.
+
+    Draws spawn-seeded chunks until the running CI half-width is at or
+    below ``ci_target``, or ``max_samples`` devices have been fabricated
+    — deep-in-the-tail points (yield near 0 or 1) stop after a chunk or
+    two instead of burning the full fixed batch.  Because chunk seeds
+    are prefix-stable, the samples an adaptive run observes are exactly
+    the first ``samples_used`` rows of the fixed-batch run at the same
+    ``(seed, chunk_size)``.
+    """
+
+    def draw_chunk(chunk_index: int, length: int) -> tuple[int, int]:
+        frequencies = _chunk_frequencies(
+            allocation, fabrication, length, seed, chunk_index
+        )
+        mask = collision_free_mask(allocation, frequencies, thresholds)
+        return int(mask.sum()), length
+
+    outcome = adaptive_estimate(
+        draw_chunk,
+        ci_target=ci_target,
+        max_samples=max_samples,
+        chunk_size=chunk_size,
+        confidence=confidence,
+        method=ci_method,
+    )
+    return YieldResult(
+        num_qubits=allocation.num_qubits,
+        sigma_ghz=fabrication.sigma_ghz,
+        step_ghz=allocation.spec.step_ghz,
+        batch_size=outcome.trials,
+        num_collision_free=outcome.successes,
+        confidence=confidence,
+        ci_method=ci_method,
+    )
+
+
+def simulate_yield_chunk(
+    sigma_ghz: float,
+    step_ghz: float,
+    num_qubits: int,
+    chunk_length: int,
+    seed: int | None,
+    thresholds: CollisionThresholds | None = None,
+    lattice: HeavyHexLattice | None = None,
+) -> tuple[int, int]:
+    """One spawn-seeded chunk as a self-contained engine task.
+
+    ``seed`` here is the *chunk's own* derived seed (see
+    :func:`repro.stats.streaming.chunk_seed`), so the task is a pure,
+    picklable function of its arguments and can run in any worker
+    process.  Returns ``(num_collision_free, chunk_length)``.
+    """
+    if lattice is None:
+        lattice = heavy_hex_by_qubit_count(num_qubits)
+    allocation = allocate_heavy_hex_frequencies(
+        lattice, spec=FrequencySpec(step_ghz=step_ghz)
+    )
+    fabrication = FabricationModel(sigma_ghz=sigma_ghz)
+    frequencies = fabrication.sample_batch(
+        allocation, chunk_length, np.random.default_rng(seed)
+    )
+    mask = collision_free_mask(allocation, frequencies, thresholds)
+    return int(mask.sum()), chunk_length
+
+
+def simulate_yield_chunks(
+    sigma_ghz: float,
+    step_ghz: float,
+    num_qubits: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int | None = None,
+    thresholds: CollisionThresholds | None = None,
+    lattice: HeavyHexLattice | None = None,
+    executor=None,
+    confidence: float = DEFAULT_CONFIDENCE,
+    ci_method: str = "wilson",
+) -> YieldResult:
+    """The chunked estimate with chunks fanned out as engine tasks.
+
+    Each chunk becomes one :func:`simulate_yield_chunk` task carrying its
+    pre-derived spawn seed; results are reduced in submission order, so
+    the estimate is bit-identical to :func:`simulate_yield_streaming`
+    (and to the materialised monolithic batch) no matter how many worker
+    processes execute the chunks.
+    """
+    if lattice is None:
+        lattice = heavy_hex_by_qubit_count(num_qubits)
+    kwargs_list = [
+        dict(
+            sigma_ghz=sigma_ghz,
+            step_ghz=step_ghz,
+            num_qubits=num_qubits,
+            chunk_length=length,
+            seed=chunk_seed(seed, index),
+            thresholds=thresholds,
+            lattice=lattice,
+        )
+        for index, length in enumerate(chunk_layout(batch_size, chunk_size))
+    ]
+    estimator = StreamingEstimator(confidence=confidence, method=ci_method)
+    for successes, trials in _run_points(
+        simulate_yield_chunk, kwargs_list, executor, "yield.chunk"
+    ):
+        estimator.update(successes, trials)
+    return YieldResult(
+        num_qubits=lattice.num_qubits,
+        sigma_ghz=sigma_ghz,
+        step_ghz=step_ghz,
+        batch_size=estimator.trials,
+        num_collision_free=estimator.successes,
+        confidence=confidence,
+        ci_method=ci_method,
+    )
+
+
 def simulate_yield_point(
     sigma_ghz: float,
     step_ghz: float,
@@ -219,27 +497,85 @@ def simulate_yield_point(
     seed: int | None = None,
     thresholds: CollisionThresholds | None = None,
     lattice: HeavyHexLattice | None = None,
+    chunk_size: int | None = None,
+    ci_target: float | None = None,
+    max_samples: int | None = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+    ci_method: str = "wilson",
 ) -> YieldResult:
     """One self-contained (sigma, step, size) Monte-Carlo point.
 
     This is the unit of work the sweep entry points submit to the engine:
     a module-level function of picklable arguments, so it runs identically
-    in a worker process and in the calling process.
+    in a worker process and in the calling process.  The statistics
+    parameters select the sampler:
+
+    * ``ci_target`` set — adaptive chunked sampling, capped at
+      ``max_samples`` (``batch_size`` when unset);
+    * ``chunk_size`` set (no target) — streaming chunked sampling of the
+      full ``batch_size`` in O(chunk) memory;
+    * neither — the legacy monolithic single-draw batch.
+
+    All statistics parameters participate in the engine's cache key, so
+    changing any of them invalidates previously cached points.
     """
     if lattice is None:
         lattice = heavy_hex_by_qubit_count(num_qubits)
     allocation = allocate_heavy_hex_frequencies(
         lattice, spec=FrequencySpec(step_ghz=step_ghz)
     )
+    fabrication = FabricationModel(sigma_ghz=sigma_ghz)
+    if ci_target is not None:
+        return simulate_yield_adaptive(
+            allocation,
+            fabrication,
+            ci_target=ci_target,
+            max_samples=max_samples if max_samples is not None else batch_size,
+            chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+            seed=seed,
+            thresholds=thresholds,
+            confidence=confidence,
+            ci_method=ci_method,
+        )
+    if chunk_size is not None:
+        return simulate_yield_streaming(
+            allocation,
+            fabrication,
+            batch_size=batch_size,
+            chunk_size=chunk_size,
+            seed=seed,
+            thresholds=thresholds,
+            confidence=confidence,
+            ci_method=ci_method,
+        )
     return simulate_yield(
         allocation,
-        FabricationModel(sigma_ghz=sigma_ghz),
+        fabrication,
         batch_size,
         np.random.default_rng(seed),
         thresholds,
+        confidence=confidence,
+        ci_method=ci_method,
     )
 
 
+
+
+def _stats_point_kwargs(stats: StatsOptions | None) -> dict:
+    """Per-point kwargs encoding the statistics options.
+
+    Returned empty when no option was set, so legacy sweeps keep their
+    exact parameter sets (and therefore their engine cache keys).
+    """
+    if stats is None or stats.is_default:
+        return {}
+    return dict(
+        chunk_size=stats.chunk_size,
+        ci_target=stats.ci_target,
+        max_samples=stats.max_samples,
+        confidence=stats.confidence,
+        ci_method=stats.method,
+    )
 
 
 def yield_vs_qubits(
@@ -251,6 +587,7 @@ def yield_vs_qubits(
     thresholds: CollisionThresholds | None = None,
     lattices: dict[int, HeavyHexLattice] | None = None,
     executor=None,
+    stats: StatsOptions | None = None,
 ) -> YieldCurve:
     """Collision-free yield curve over a range of heavy-hex device sizes.
 
@@ -275,8 +612,13 @@ def yield_vs_qubits(
         the lattice search across parameter points.
     executor:
         Optional engine hook (``map_calls``); ``None`` runs in-process.
+    stats:
+        Optional :class:`repro.stats.StatsOptions` switching every point
+        to chunked streaming / adaptive sampling with CIs at the
+        requested confidence.
     """
     curve = YieldCurve(sigma_ghz=sigma_ghz, step_ghz=step_ghz)
+    stats_kwargs = _stats_point_kwargs(stats)
     kwargs_list = []
     for size, child_seed in zip(sizes, _point_seeds(seed, len(sizes))):
         if lattices is not None and size in lattices:
@@ -294,6 +636,7 @@ def yield_vs_qubits(
                 seed=child_seed,
                 thresholds=thresholds,
                 lattice=lattice,
+                **stats_kwargs,
             )
         )
     curve.points.extend(
@@ -310,6 +653,7 @@ def detuning_sweep(
     seed: int | None = 7,
     thresholds: CollisionThresholds | None = None,
     executor=None,
+    stats: StatsOptions | None = None,
 ) -> dict[tuple[float, float], YieldCurve]:
     """The full Fig. 4 grid: one yield curve per (step, sigma) combination.
 
@@ -330,6 +674,7 @@ def detuning_sweep(
     """
     combos = [(step, sigma) for step in steps_ghz for sigma in sigmas_ghz]
     curve_seeds = _point_seeds(seed, len(combos))
+    stats_kwargs = _stats_point_kwargs(stats)
 
     lattices: dict[int, HeavyHexLattice] = {}
     for size in sizes:
@@ -347,6 +692,7 @@ def detuning_sweep(
                     seed=child_seed,
                     thresholds=thresholds,
                     lattice=lattices[size],
+                    **stats_kwargs,
                 )
             )
 

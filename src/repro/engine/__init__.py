@@ -23,7 +23,7 @@ from repro.engine.cache import ResultCache, stable_token
 from repro.engine.dispatch import run_calls
 from repro.engine.registry import ExperimentRegistry, ExperimentSpec
 from repro.engine.runner import EngineStats, ExecutionEngine
-from repro.engine.seeding import spawn_seeds
+from repro.engine.seeding import spawn_seed_at, spawn_seeds
 from repro.engine.task import Task, TaskGraph
 
 __all__ = [
@@ -37,4 +37,5 @@ __all__ = [
     "TaskGraph",
     "run_calls",
     "spawn_seeds",
+    "spawn_seed_at",
 ]

@@ -28,12 +28,17 @@ class ExperimentSpec:
         expose ``format_table()`` or be printable.
     aliases:
         Alternative CLI names.
+    stats_aware:
+        True when the runner threads statistics options (chunked /
+        adaptive Monte-Carlo) into its sampling; the CLI warns when
+        statistics flags are passed to an experiment that ignores them.
     """
 
     name: str
     description: str
     runner: Callable[..., Any]
     aliases: tuple[str, ...] = field(default=())
+    stats_aware: bool = False
 
 
 class ExperimentRegistry:
@@ -49,9 +54,16 @@ class ExperimentRegistry:
         description: str,
         runner: Callable[..., Any],
         aliases: tuple[str, ...] = (),
+        stats_aware: bool = False,
     ) -> ExperimentSpec:
         """Register an experiment; raises on duplicate names or aliases."""
-        spec = ExperimentSpec(name=name, description=description, runner=runner, aliases=aliases)
+        spec = ExperimentSpec(
+            name=name,
+            description=description,
+            runner=runner,
+            aliases=aliases,
+            stats_aware=stats_aware,
+        )
         for key in (name, *aliases):
             if key in self._specs or key in self._aliases:
                 raise ValueError(f"experiment name {key!r} already registered")

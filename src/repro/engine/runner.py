@@ -63,15 +63,18 @@ def _fn_cache_safe(fn: Callable[..., Any]) -> bool:
     )
 
 
-def _invoke(fn: Callable[..., Any], kwargs: dict[str, Any]) -> tuple[float, Any]:
+def _invoke(fn: Callable[..., Any], kwargs: dict[str, Any]) -> tuple[float, int, Any]:
     """Module-level trampoline so task invocations pickle cleanly.
 
-    Returns ``(seconds, result)`` — the worker times its own execution so
-    per-task-family statistics stay accurate across processes.
+    Returns ``(seconds, worker_pid, result)`` — the worker times its own
+    execution so per-task-family statistics stay accurate across
+    processes, and reports its PID so the engine can count the workers
+    that *actually* ran tasks (a lazily-filled pool may use fewer
+    processes than it was configured with).
     """
     started = time.perf_counter()
     result = fn(**kwargs)
-    return time.perf_counter() - started, result
+    return time.perf_counter() - started, os.getpid(), result
 
 
 @dataclass
@@ -82,6 +85,13 @@ class EngineStats:
     ----------
     jobs:
         Worker processes the engine was configured with.
+    workers_used:
+        Largest number of *distinct* worker processes observed executing
+        any one batch (1 when every batch took the sequential in-process
+        path).  This is what benchmark reports should publish alongside
+        the *configured* ``jobs`` — the two differ whenever the pool
+        falls back sequentially, a batch is smaller than the pool, or a
+        lazily-filled pool serves the whole batch from fewer processes.
     tasks_total:
         Tasks submitted (including cache hits).
     tasks_executed:
@@ -98,6 +108,7 @@ class EngineStats:
     """
 
     jobs: int = 1
+    workers_used: int = 0
     tasks_total: int = 0
     tasks_executed: int = 0
     cache_hits: int = 0
@@ -230,6 +241,7 @@ class ExecutionEngine:
                 pool = None  # process creation refused: sequential fallback
             if pool is not None:
                 broken = False
+                worker_pids: set[int] = set()
                 try:
                     with pool:
                         futures = {
@@ -240,7 +252,8 @@ class ExecutionEngine:
                         }
                         for index, future in futures.items():
                             try:
-                                durations[index], results[index] = future.result()
+                                durations[index], pid, results[index] = future.result()
+                                worker_pids.add(pid)
                             except BrokenProcessPool as exc:
                                 if _workers_can_start():
                                     # The environment can run workers, so
@@ -270,8 +283,12 @@ class ExecutionEngine:
                 except BrokenProcessPool:
                     broken = True  # raised by pool shutdown itself
                 if not broken:
+                    self.stats.workers_used = max(
+                        self.stats.workers_used, len(worker_pids)
+                    )
                     return durations
                 durations.clear()
+        self.stats.workers_used = max(self.stats.workers_used, 1)
         for index in pending:
             started = time.perf_counter()
             results[index] = tasks[index].run()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["spawn_seeds"]
+__all__ = ["spawn_seeds", "spawn_seed_at"]
 
 
 def spawn_seeds(seed: int | None, count: int) -> list[int | None]:
@@ -26,3 +26,20 @@ def spawn_seeds(seed: int | None, count: int) -> list[int | None]:
         return [None] * count
     children = np.random.SeedSequence(seed).spawn(count)
     return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
+def spawn_seed_at(seed: int | None, index: int) -> int | None:
+    """The ``index``-th child seed of ``seed``, derived lazily.
+
+    ``SeedSequence.spawn`` children are prefix-stable — child ``i`` is
+    keyed on ``spawn_key=(i,)`` alone, never on how many siblings were
+    spawned — so ``spawn_seed_at(s, i) == spawn_seeds(s, n)[i]`` for any
+    ``n > i``.  Consumers that do not know their chunk count up front
+    (the adaptive estimator) rely on this.
+    """
+    if seed is None:
+        return None
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    child = np.random.SeedSequence(seed, spawn_key=(index,))
+    return int(child.generate_state(1, np.uint64)[0])

@@ -3,12 +3,63 @@
 Expensive objects (calibration-backed error models, chiplet designs, a small
 architecture study) are built once per session so individual tests stay
 fast while still exercising the real pipeline.
+
+Hypothesis profiles
+-------------------
+Three profiles are registered for the property-based suites:
+
+* ``dev`` (default) — 25 examples per property, keeps the tier-1 run fast;
+* ``ci`` — 200 examples, used by the CI workflow
+  (``HYPOTHESIS_PROFILE=ci``);
+* ``thorough`` — 1000 examples for local deep dives.
+
+Golden regeneration
+-------------------
+``pytest --regenerate-goldens`` rewrites the seeded JSON snapshots under
+``tests/golden/`` instead of comparing against them.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+
+    hypothesis_settings.register_profile(
+        "dev",
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.register_profile(
+        "ci",
+        max_examples=200,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.register_profile(
+        "thorough",
+        max_examples=1000,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regenerate-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the seeded JSON goldens under tests/golden/ "
+        "instead of asserting against them",
+    )
 
 from repro.analysis.study import ArchitectureStudy, StudyConfig
 from repro.core.chiplet import ChipletDesign

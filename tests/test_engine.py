@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.collisions import (
     COLLISION_TYPES,
+    CollisionThresholds,
     collision_free_mask,
     count_collisions,
     find_collisions,
@@ -236,6 +237,93 @@ class TestEngineStats:
         assert stats.wall_seconds > 0
         assert "4 tasks" in stats.summary()
         assert stats.seconds_by_family["sq"] > 0
+
+
+class TestCacheInvalidation:
+    """The on-disk cache must miss when physics or statistics change,
+    and hit across worker-count changes at a fixed seed."""
+
+    POINT = dict(sigma_ghz=0.014, step_ghz=0.06, num_qubits=10, batch_size=80, seed=5)
+
+    def _run(self, tmp_path, jobs=1, **overrides):
+        engine = ExecutionEngine(jobs=jobs, cache=ResultCache(tmp_path))
+        results = engine.map_calls(
+            simulate_yield_point, [{**self.POINT, **overrides}], name="yield.point"
+        )
+        return engine, results[0]
+
+    def test_thresholds_change_invalidates(self, tmp_path):
+        first, _ = self._run(tmp_path)
+        assert first.stats.cache_hits == 0
+        repeat, _ = self._run(tmp_path)
+        assert repeat.stats.cache_hits == 1
+        tightened, _ = self._run(
+            tmp_path, thresholds=CollisionThresholds(type1_ghz=0.02)
+        )
+        assert tightened.stats.cache_hits == 0
+        assert tightened.stats.tasks_executed == 1
+
+    def test_stats_parameters_invalidate(self, tmp_path):
+        self._run(tmp_path)
+        chunked, _ = self._run(tmp_path, chunk_size=40)
+        assert chunked.stats.cache_hits == 0
+        rechunked, _ = self._run(tmp_path, chunk_size=40)
+        assert rechunked.stats.cache_hits == 1
+        other_chunk, _ = self._run(tmp_path, chunk_size=20)
+        assert other_chunk.stats.cache_hits == 0
+        adaptive, _ = self._run(
+            tmp_path, chunk_size=40, ci_target=0.05, max_samples=160
+        )
+        assert adaptive.stats.cache_hits == 0
+        readaptive, _ = self._run(
+            tmp_path, chunk_size=40, ci_target=0.05, max_samples=160
+        )
+        assert readaptive.stats.cache_hits == 1
+
+    def test_hits_across_jobs_at_fixed_seed(self, tmp_path):
+        kwargs = [
+            {**self.POINT, "num_qubits": size, "chunk_size": 40}
+            for size in (5, 10, 16)
+        ]
+        sequential = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path))
+        seq_results = sequential.map_calls(
+            simulate_yield_point, kwargs, name="yield.point"
+        )
+        assert sequential.stats.cache_hits == 0
+        parallel = ExecutionEngine(jobs=2, cache=ResultCache(tmp_path))
+        par_results = parallel.map_calls(
+            simulate_yield_point, kwargs, name="yield.point"
+        )
+        assert parallel.stats.cache_hits == len(kwargs)
+        assert parallel.stats.tasks_executed == 0
+        assert [r.num_collision_free for r in seq_results] == [
+            r.num_collision_free for r in par_results
+        ]
+
+    def test_seed_change_still_misses(self, tmp_path):
+        self._run(tmp_path)
+        reseeded, _ = self._run(tmp_path, seed=6)
+        assert reseeded.stats.cache_hits == 0
+
+
+class TestWorkersUsedStat:
+    def test_parallel_batch_records_workers(self):
+        engine = ExecutionEngine(jobs=2, use_cache=False)
+        engine.map_calls(_square, [{"x": v} for v in range(6)], name="sq")
+        # distinct worker processes actually observed: at least one, and
+        # never more than the configured pool (a lazily-filled pool may
+        # legitimately serve a fast batch from a single worker)
+        assert 1 <= engine.stats.workers_used <= 2
+
+    def test_sequential_batch_records_one(self):
+        engine = ExecutionEngine(jobs=1, use_cache=False)
+        engine.map_calls(_square, [{"x": 1}], name="sq")
+        assert engine.stats.workers_used == 1
+
+    def test_small_batch_cannot_exceed_pending(self):
+        engine = ExecutionEngine(jobs=8, use_cache=False)
+        engine.map_calls(_square, [{"x": 1}, {"x": 2}], name="sq")
+        assert engine.stats.workers_used <= 2
 
 
 class TestCollisionScalarBatchParity:
