@@ -1,0 +1,165 @@
+"""E-ASM — MCM placement search: batched vs. batch-of-1 collision checks.
+
+``assembly._try_placements`` historically evaluated candidate chiplet
+placements one at a time — up to 100 ``collision_free_mask`` calls of
+batch size 1 per subset.  The current implementation tests the in-order
+placement first and, when it collides, evaluates *every* candidate
+permutation in one vectorised batch (rewinding and replaying the random
+stream so downstream link sampling is bit-identical).
+
+This benchmark replays the search over the subsets of a real assembly
+run with both strategies, asserts placement-for-placement identical
+outcomes (including the generator's end state), and writes the measured
+speedup to ``benchmarks/BENCH_assembly.json``.  It also times the
+vectorised ``edge_errors`` construction of ``fabricate_chiplet_bin``
+against the historical per-(survivor, coupling) Python loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.assembly import _try_placements, fabricate_chiplet_bin
+from repro.core.chiplet import ChipletDesign
+from repro.core.collisions import collision_free_mask
+from repro.core.fabrication import FabricationModel
+from repro.core.mcm import MCMDesign
+from repro.device.calibration import washington_cx_model
+
+RESULT_PATH = Path(__file__).parent / "BENCH_assembly.json"
+
+#: Fabrication precision of the benchmark bin.  0.05 GHz keeps survivor
+#: frequencies scattered enough that in-order placements regularly collide
+#: (tens of reshuffles per subset, occasional timeouts) while still
+#: yielding a bin of ~180 dies — the regime the batched search accelerates.
+BENCH_SIGMA = 0.05
+
+CHIPLET_QUBITS = 10
+GRID = (2, 2)
+BATCH_SIZE = 3000
+SEED = 2022
+MAX_RESHUFFLES = 100
+
+
+def _reference_try_placements(subset, design, rng, max_reshuffles, thresholds):
+    """The historical draw-one-test-one search (pre-vectorisation)."""
+    num_chips = design.num_chips
+    attempts = 0
+    placement = list(range(num_chips))
+    while True:
+        frequencies = design.assemble_frequencies(
+            [subset[i].frequencies_ghz for i in placement]
+        )
+        if bool(collision_free_mask(design.allocation, frequencies, thresholds)[0]):
+            return placement, attempts
+        if attempts >= max_reshuffles:
+            return None, attempts
+        attempts += 1
+        placement = list(rng.permutation(num_chips))
+
+
+def _subsets(chiplet_bin, num_chips):
+    pool = list(chiplet_bin.chiplets)
+    while len(pool) >= num_chips:
+        yield pool[:num_chips]
+        pool = pool[num_chips:]
+
+
+def _run_search(search, subsets, design):
+    rng = np.random.default_rng(SEED + 1)
+    outcomes = []
+    started = time.perf_counter()
+    for subset in subsets:
+        placement, attempts = search(subset, design, rng, MAX_RESHUFFLES, None)
+        outcomes.append((placement, attempts))
+    elapsed = time.perf_counter() - started
+    return outcomes, elapsed, rng.bit_generator.state
+
+
+def test_batched_placement_search_matches_reference_and_is_fast():
+    """Batched candidate evaluation is outcome- and stream-identical to the
+    sequential reference, and faster once reshuffles actually happen."""
+    design = ChipletDesign.build(CHIPLET_QUBITS)
+    mcm_design = MCMDesign.build(design, *GRID)
+    cx_model = washington_cx_model(seed=11)
+    chiplet_bin = fabricate_chiplet_bin(
+        design,
+        FabricationModel(sigma_ghz=BENCH_SIGMA),
+        cx_model,
+        batch_size=BATCH_SIZE,
+        rng=np.random.default_rng(SEED),
+    )
+    subsets = list(_subsets(chiplet_bin, mcm_design.num_chips))
+    assert subsets, "benchmark bin produced no assemblable subsets"
+
+    reference, ref_seconds, ref_state = _run_search(
+        _reference_try_placements, subsets, mcm_design
+    )
+    batched, bat_seconds, bat_state = _run_search(
+        _try_placements, subsets, mcm_design
+    )
+
+    assert batched == reference
+    assert bat_state == ref_state, "random stream diverged from the reference"
+
+    total_attempts = sum(attempts for _, attempts in reference)
+    timeouts = sum(1 for placement, _ in reference if placement is None)
+    speedup = ref_seconds / bat_seconds if bat_seconds > 0 else float("inf")
+
+    # Vectorised edge_errors construction vs. the historical per-element loop.
+    survivors = np.stack([c.frequencies_ghz for c in chiplet_bin.chiplets])
+    edges = design.edges()
+    edge_u = np.asarray([u for u, _ in edges])
+    edge_v = np.asarray([v for _, v in edges])
+    detunings = np.abs(survivors[:, edge_u] - survivors[:, edge_v])
+    errors = cx_model.sample_many(detunings, np.random.default_rng(SEED + 2))
+
+    started = time.perf_counter()
+    loop_dicts = [
+        {edges[col]: float(errors[row, col]) for col in range(len(edges))}
+        for row in range(errors.shape[0])
+    ]
+    loop_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    vector_dicts = [dict(zip(edges, row)) for row in errors.tolist()]
+    vector_seconds = time.perf_counter() - started
+    assert vector_dicts == loop_dicts
+    edge_speedup = loop_seconds / vector_seconds if vector_seconds > 0 else float("inf")
+
+    record = {
+        "benchmark": "mcm_placement_search",
+        "chiplet_qubits": CHIPLET_QUBITS,
+        "grid": list(GRID),
+        "batch_size": BATCH_SIZE,
+        "sigma_ghz": BENCH_SIGMA,
+        "num_subsets": len(subsets),
+        "total_reshuffles": total_attempts,
+        "timeouts": timeouts,
+        "sequential_seconds": round(ref_seconds, 4),
+        "batched_seconds": round(bat_seconds, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+        "edge_errors": {
+            "survivors": int(errors.shape[0]),
+            "couplings": len(edges),
+            "loop_seconds": round(loop_seconds, 4),
+            "vectorised_seconds": round(vector_seconds, 4),
+            "speedup": round(edge_speedup, 3),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\n[assembly] {len(subsets)} subsets, {total_attempts} reshuffles, "
+        f"{timeouts} timeouts: sequential {ref_seconds:.3f}s, "
+        f"batched {bat_seconds:.3f}s -> speedup {speedup:.2f}x"
+    )
+    print(
+        f"[assembly] edge_errors dicts: loop {loop_seconds:.3f}s, "
+        f"vectorised {vector_seconds:.3f}s -> speedup {edge_speedup:.2f}x"
+    )
+    print(f"[assembly] wrote {RESULT_PATH}")

@@ -9,13 +9,15 @@ two-qubit gate infidelity, and application-level fidelity.
 Sub-packages
 ------------
 ``repro.topology``
-    Heavy-hex lattices, coupling maps and graph metrics.
+    Pluggable lattices (heavy-hex, square grid, ring/chain), coupling
+    maps and graph metrics behind the ``Lattice`` protocol.
 ``repro.device``
     Physical-device model, synthetic calibration data, gate-error models.
 ``repro.core``
-    The paper's contribution: frequency allocation, collision criteria,
-    Monte-Carlo yield, chiplets, MCM topologies, assembly and fidelity
-    comparison models.
+    The paper's contribution: frequency-plan strategies, collision
+    criteria, Monte-Carlo yield, chiplets, MCM topologies, assembly and
+    fidelity comparison models — all behind the topology-pluggable
+    architecture registry (``repro.core.architecture``).
 ``repro.circuits``
     Quantum-circuit IR and the seven-benchmark suite.
 ``repro.compiler``

@@ -8,13 +8,16 @@ Subcommands
     (``1`` forces the sequential backend; results are bit-identical),
     ``--seed S`` overrides the experiment's master seed, ``--no-cache``
     bypasses the on-disk result cache and ``--batch B`` scales the
-    Monte-Carlo batches.  The statistics flags select the adaptive
-    Monte-Carlo layer: ``--chunk-size C`` streams every yield point in
-    O(C) memory, ``--ci-target H`` keeps sampling each point until its
-    confidence-interval half-width is at most ``H`` (capped by
-    ``--max-samples``, default: the batch size).
+    Monte-Carlo batches.  ``--topology T`` switches topology-aware
+    experiments to another registered architecture (heavy-hex, square,
+    ring); the selection is validated against the registry and becomes
+    part of every Monte-Carlo point's cache key.  The statistics flags
+    select the adaptive Monte-Carlo layer: ``--chunk-size C`` streams
+    every yield point in O(C) memory, ``--ci-target H`` keeps sampling
+    each point until its confidence-interval half-width is at most ``H``
+    (capped by ``--max-samples``, default: the batch size).
 ``list``
-    Show every registered experiment.
+    Show every registered experiment and every registered topology.
 ``cache clear``
     Drop the on-disk result cache.
 
@@ -24,6 +27,8 @@ Examples
 
     python -m repro list
     python -m repro run fig4 --jobs 4 --seed 7
+    python -m repro run fig4 --topology square --jobs 2
+    python -m repro run topoyield --batch 500
     python -m repro run fig4 --ci-target 0.02 --chunk-size 250 --max-samples 4000
     python -m repro run fig8 --jobs 4 --batch 2000
     python -m repro cache clear
@@ -36,6 +41,7 @@ import sys
 import time
 
 from repro.analysis.registry import EXPERIMENTS
+from repro.core.architecture import ARCHITECTURES
 from repro.engine import ExecutionEngine, ResultCache
 from repro.stats import StatsOptions
 
@@ -75,6 +81,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo batch size override",
     )
     run.add_argument(
+        "--topology",
+        "-t",
+        choices=ARCHITECTURES.names(),
+        default=None,
+        help="registered device topology (default: heavy-hex)",
+    )
+    run.add_argument(
         "--chunk-size",
         type=int,
         default=None,
@@ -112,10 +125,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
+    print("experiments:")
     width = max((len(name) for name in EXPERIMENTS.names()), default=0)
     for spec in EXPERIMENTS.specs():
         aliases = f"  (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
-        print(f"{spec.name:<{width}}  {spec.description}{aliases}")
+        print(f"  {spec.name:<{width}}  {spec.description}{aliases}")
+    print("\ntopologies (for --topology):")
+    width = max((len(name) for name in ARCHITECTURES.names()), default=0)
+    for arch in ARCHITECTURES.specs():
+        print(f"  {arch.name:<{width}}  {arch.description}")
     return 0
 
 
@@ -160,10 +178,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
+    if args.topology is not None and not spec.topology_aware:
+        print(
+            f"warning: experiment {spec.name!r} is heavy-hex only; "
+            "--topology has no effect on it",
+            file=sys.stderr,
+        )
+
     engine = ExecutionEngine(jobs=args.jobs, use_cache=not args.no_cache)
     started = time.perf_counter()
     result, text = spec.runner(
-        engine, seed=args.seed, batch_size=args.batch, full=args.full, stats=stats
+        engine,
+        seed=args.seed,
+        batch_size=args.batch,
+        full=args.full,
+        stats=stats,
+        topology=args.topology,
     )
     elapsed = time.perf_counter() - started
 

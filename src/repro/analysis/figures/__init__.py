@@ -17,6 +17,7 @@ Module                      Experiment
 ``fig8_mcm``                Fig. 8 MCM vs. monolithic yield comparison
 ``fig9_heatmaps``           Fig. 9 average-infidelity heat-maps
 ``fig10_apps``              Fig. 10 application-level fidelity ratios
+``topologies``              cross-topology yield / MCM comparisons
 ==========================  =============================================
 
 The CLI-facing experiment registry lives in ``repro.analysis.registry``.
@@ -30,6 +31,12 @@ from repro.analysis.figures.fig8_mcm import Fig8Result, run_fig8_yield_compariso
 from repro.analysis.figures.fig9_heatmaps import Fig9Result, run_fig9_infidelity_heatmap
 from repro.analysis.figures.fig10_apps import Fig10Result, run_fig10_applications
 from repro.analysis.figures.sec5c_output import run_sec5c_fabrication_output
+from repro.analysis.figures.topologies import (
+    TopologyMCMResult,
+    TopologyYieldResult,
+    run_topology_mcm_comparison,
+    run_topology_yield_comparison,
+)
 from repro.analysis.figures.tables import (
     Table1Result,
     Table2Result,
@@ -46,6 +53,8 @@ __all__ = [
     "Fig10Result",
     "Table1Result",
     "Table2Result",
+    "TopologyMCMResult",
+    "TopologyYieldResult",
     "run_fig3_processor_trends",
     "run_fig4_yield_sweep",
     "run_fig6_configurations",
@@ -56,4 +65,6 @@ __all__ = [
     "run_sec5c_fabrication_output",
     "run_table1_collision_criteria",
     "run_table2_compiled_benchmarks",
+    "run_topology_mcm_comparison",
+    "run_topology_yield_comparison",
 ]

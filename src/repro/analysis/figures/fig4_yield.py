@@ -81,6 +81,7 @@ def run_fig4_yield_sweep(
     seed: int = 7,
     engine=None,
     stats: StatsOptions | None = None,
+    topology: str | None = None,
 ) -> Fig4Result:
     """Regenerate the Fig. 4 grid of yield-vs-qubits curves.
 
@@ -93,6 +94,10 @@ def run_fig4_yield_sweep(
     stats:
         Optional statistics options (chunked streaming / adaptive
         sampling with CI targets).
+    topology:
+        Registered topology name; the heavy-hex default reproduces the
+        paper's grid, ``"square"``/``"ring"`` regenerate it for the
+        denser/sparser scenarios.
     """
     curves = detuning_sweep(
         steps_ghz=steps_ghz,
@@ -102,6 +107,7 @@ def run_fig4_yield_sweep(
         seed=seed,
         executor=engine,
         stats=stats,
+        topology=topology,
     )
     result = Fig4Result(sizes=sizes)
     for key, curve in curves.items():

@@ -3,17 +3,19 @@
 Each figure/table driver is registered under its paper name with a
 uniform runner signature::
 
-    runner(engine, seed=None, batch_size=None, full=False, stats=None)
-        -> (result, text)
+    runner(engine, seed=None, batch_size=None, full=False, stats=None,
+           topology=None) -> (result, text)
 
 ``engine`` is an :class:`repro.engine.ExecutionEngine` (or ``None`` for
 plain in-process execution), ``seed`` overrides the experiment's default
 master seed, ``batch_size`` scales the Monte-Carlo batches, ``full``
-requests the paper-sized configuration sweep where one exists, and
+requests the paper-sized configuration sweep where one exists,
 ``stats`` is an optional :class:`repro.stats.StatsOptions` (the CLI's
 ``--chunk-size`` / ``--ci-target`` / ``--max-samples``) threaded into
-the yield Monte-Carlo where the experiment has one.  ``text`` is the
-human-readable rendering the CLI prints.
+the yield Monte-Carlo where the experiment has one, and ``topology``
+selects a registered architecture (the CLI's ``--topology``) on the
+experiments marked ``topology_aware``.  ``text`` is the human-readable
+rendering the CLI prints.
 """
 
 from __future__ import annotations
@@ -22,6 +24,8 @@ from typing import Any
 
 from repro.analysis.figures import (
     run_fig3_processor_trends,
+    run_topology_mcm_comparison,
+    run_topology_yield_comparison,
     run_fig4_yield_sweep,
     run_fig6_configurations,
     run_fig7_detuning_model,
@@ -36,7 +40,6 @@ from repro.analysis.reporting import format_table
 from repro.analysis.study import ArchitectureStudy, StudyConfig
 from repro.core.chiplet import PAPER_CHIPLET_SIZES
 from repro.engine import ExperimentRegistry
-from repro.stats import StatsOptions
 
 __all__ = ["EXPERIMENTS", "build_study"]
 
@@ -67,22 +70,23 @@ def build_study(
     return ArchitectureStudy(config, engine=engine)
 
 
-def _fig3(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _fig3(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     result = run_fig3_processor_trends(seed=seed if seed is not None else 11)
     return result, result.format_table()
 
 
-def _table1(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _table1(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     result = run_table1_collision_criteria()
     return result, result.format_table()
 
 
-def _fig4(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _fig4(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     result = run_fig4_yield_sweep(
         batch_size=batch_size or 1000,
         seed=seed if seed is not None else 7,
         engine=engine,
         stats=stats,
+        topology=topology,
     )
     if stats is not None and not stats.is_default:
         text = (
@@ -93,7 +97,7 @@ def _fig4(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[A
     return result, result.format_table()
 
 
-def _fig6(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _fig6(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     points = run_fig6_configurations(
         batch_size=batch_size or 100_000,
         seed=seed if seed is not None else 7,
@@ -109,7 +113,7 @@ def _fig6(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[A
     return points, text
 
 
-def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     result = run_sec5c_fabrication_output(
         batch_size=batch_size or 1000,
         seed=seed if seed is not None else 7,
@@ -128,7 +132,7 @@ def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[
     return result, text
 
 
-def _fig7(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _fig7(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     result = run_fig7_detuning_model(seed=seed if seed is not None else 11)
     summary = (
         f"median {result.median:.4f}, mean {result.mean:.4f} "
@@ -137,13 +141,13 @@ def _fig7(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[A
     return result, summary + result.format_table()
 
 
-def _fig8(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _fig8(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig8_yield_comparison(study)
     return result, result.format_table()
 
 
-def _fig9(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _fig9(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig9_infidelity_heatmap(study)
     sections = []
@@ -153,7 +157,7 @@ def _fig9(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[A
     return result, "\n".join(sections)
 
 
-def _fig10(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _fig10(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig10_applications(
         study, square_only=not full, seed=seed if seed is not None else 5
@@ -161,7 +165,34 @@ def _fig10(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[
     return result, result.format_table()
 
 
-def _table2(engine, seed=None, batch_size=None, full=False, stats=None) -> tuple[Any, str]:
+def _topoyield(
+    engine, seed=None, batch_size=None, full=False, stats=None, topology=None
+) -> tuple[Any, str]:
+    topologies = (topology,) if topology else None
+    result = run_topology_yield_comparison(
+        topologies=topologies,
+        batch_size=batch_size or 1000,
+        seed=seed if seed is not None else 7,
+        engine=engine,
+        stats=stats,
+    )
+    return result, result.format_table()
+
+
+def _topomcm(
+    engine, seed=None, batch_size=None, full=False, stats=None, topology=None
+) -> tuple[Any, str]:
+    topologies = (topology,) if topology else None
+    result = run_topology_mcm_comparison(
+        topologies=topologies,
+        batch_size=batch_size or 1000,
+        seed=seed if seed is not None else 7,
+        engine=engine,
+    )
+    return result, result.format_table()
+
+
+def _table2(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
     sizes = (10, 20, 40, 60, 90) if full else (10, 20, 40)
     result = run_table2_compiled_benchmarks(
         chiplet_sizes=sizes,
@@ -183,6 +214,7 @@ EXPERIMENTS.register(
     _fig4,
     aliases=("yield",),
     stats_aware=True,
+    topology_aware=True,
 )
 EXPERIMENTS.register(
     "fig6", "Fig. 6: configuration counting and assembled-MCM bound", _fig6
@@ -210,4 +242,18 @@ EXPERIMENTS.register(
 )
 EXPERIMENTS.register(
     "table2", "Table II: compiled benchmark gate counts on 2x2 MCMs", _table2
+)
+EXPERIMENTS.register(
+    "topoyield",
+    "Cross-topology yield-vs-size comparison (heavy-hex / square / ring)",
+    _topoyield,
+    aliases=("topologies",),
+    stats_aware=True,
+    topology_aware=True,
+)
+EXPERIMENTS.register(
+    "topomcm",
+    "Cross-topology chiplet -> MCM assembly comparison",
+    _topomcm,
+    topology_aware=True,
 )

@@ -28,17 +28,17 @@ from repro.core.assembly import (
     post_assembly_yield,
     ChipletBin,
 )
+from repro.core.architecture import DEFAULT_TOPOLOGY, get_architecture
 from repro.core.chiplet import ChipletDesign, PAPER_CHIPLET_SIZES
 from repro.core.fabrication import FabricationModel, SIGMA_LASER_TUNED_GHZ
 from repro.core.fidelity import LinkScenario, default_link_scenarios
-from repro.core.frequencies import FrequencySpec, allocate_heavy_hex_frequencies
+from repro.core.frequencies import FrequencySpec
 from repro.core.mcm import MCMDesign, MAX_SYSTEM_QUBITS
 from repro.core.yield_model import YieldResult, simulate_yield_with_devices
 from repro.device.device import Device
 from repro.device.noise import EmpiricalCXModel
 from repro.device.calibration import washington_cx_model
 from repro.topology.coupling import CouplingMap
-from repro.topology.heavy_hex import heavy_hex_by_qubit_count
 
 __all__ = [
     "StudyConfig",
@@ -69,6 +69,9 @@ class StudyConfig:
         Largest system size to evaluate.
     seed:
         Master seed; every cached computation derives its own stream.
+    topology:
+        Registered topology name every device of the study uses
+        (heavy-hex, the paper's architecture, by default).
     """
 
     sigma_ghz: float = SIGMA_LASER_TUNED_GHZ
@@ -78,6 +81,7 @@ class StudyConfig:
     max_qubits: int = MAX_SYSTEM_QUBITS
     seed: int = 2022
     chiplet_sizes: tuple[int, ...] = PAPER_CHIPLET_SIZES
+    topology: str = DEFAULT_TOPOLOGY
 
 
 @dataclass
@@ -198,7 +202,7 @@ def compute_chiplet_bin(
 ) -> ChipletBin:
     """Fabricate and KGD-characterise the chiplet bin for one size."""
     spec = FrequencySpec(step_ghz=config.step_ghz)
-    design = ChipletDesign.build(size, spec=spec)
+    design = ChipletDesign.build(size, spec=spec, topology=config.topology)
     return fabricate_chiplet_bin(
         design,
         FabricationModel(sigma_ghz=config.sigma_ghz),
@@ -227,7 +231,9 @@ def compute_mcm_result(
     """
     if chiplet_design is None:
         chiplet_design = ChipletDesign.build(
-            chiplet_size, spec=FrequencySpec(step_ghz=config.step_ghz)
+            chiplet_size,
+            spec=FrequencySpec(step_ghz=config.step_ghz),
+            topology=config.topology,
         )
     design = MCMDesign.build(chiplet_design, *grid)
     if base_scenario is None:
@@ -289,7 +295,9 @@ def compute_mcm_results(
     identical to per-grid :func:`compute_mcm_result` calls.
     """
     chiplet_design = ChipletDesign.build(
-        chiplet_size, spec=FrequencySpec(step_ghz=config.step_ghz)
+        chiplet_size,
+        spec=FrequencySpec(step_ghz=config.step_ghz),
+        topology=config.topology,
     )
     return {
         grid: compute_mcm_result(
@@ -304,9 +312,9 @@ def compute_monolithic_result(
 ) -> MonolithicResult:
     """Monte-Carlo yield and E_avg for one monolithic device size."""
     rng = _study_rng(config, 3, num_qubits)
-    spec = FrequencySpec(step_ghz=config.step_ghz)
-    lattice = heavy_hex_by_qubit_count(num_qubits)
-    allocation = allocate_heavy_hex_frequencies(lattice, spec=spec)
+    arch = get_architecture(config.topology)
+    lattice = arch.lattice(num_qubits)
+    allocation = arch.allocate(lattice, spec=arch.spec(step_ghz=config.step_ghz))
     yield_result, survivors = simulate_yield_with_devices(
         allocation,
         FabricationModel(sigma_ghz=config.sigma_ghz),
@@ -370,7 +378,9 @@ class ArchitectureStudy:
         engine=None,
     ):
         self.config = config or StudyConfig()
-        self.spec = FrequencySpec(step_ghz=self.config.step_ghz)
+        self.spec = get_architecture(self.config.topology).spec(
+            step_ghz=self.config.step_ghz
+        )
         self.fabrication = FabricationModel(sigma_ghz=self.config.sigma_ghz)
         self.cx_model = cx_model or washington_cx_model(seed=self.config.seed)
         self.engine = engine
@@ -392,7 +402,9 @@ class ArchitectureStudy:
     def chiplet_design(self, size: int) -> ChipletDesign:
         """The (cached) chiplet design for a given size."""
         if size not in self._chiplet_designs:
-            self._chiplet_designs[size] = ChipletDesign.build(size, spec=self.spec)
+            self._chiplet_designs[size] = ChipletDesign.build(
+                size, spec=self.spec, topology=self.config.topology
+            )
         return self._chiplet_designs[size]
 
     def chiplet_bin(self, size: int) -> ChipletBin:

@@ -9,7 +9,6 @@ communication-bound.
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 

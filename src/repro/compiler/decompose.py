@@ -15,7 +15,6 @@ that basis:
 from __future__ import annotations
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Gate
 
 __all__ = ["decompose_to_cx_basis", "decompose_swaps"]
 

@@ -1,0 +1,168 @@
+"""The architecture registry: topology name -> (lattice factory, plan).
+
+This is the seam that makes the pipeline topology-pluggable.  An
+:class:`Architecture` pairs a lattice factory (an exact-qubit-count
+builder satisfying :class:`repro.topology.base.Lattice`) with the
+:class:`repro.core.frequencies.FrequencyPlan` that keeps ideal devices
+of that topology collision-free.  Every layer that used to hardwire
+heavy-hex — chiplet design, the yield Monte-Carlo, MCM assembly inputs,
+calibration synthesis, the analysis drivers and the CLI — now resolves
+its topology through :func:`get_architecture`, with ``"heavy-hex"`` as
+the default, so the paper's numbers are bit-for-bit unchanged.
+
+Adding a topology is one registration::
+
+    ARCHITECTURES.register(Architecture(
+        name="kagome",
+        description="corner-sharing triangles, degree 4",
+        lattice_factory=kagome_by_qubit_count,
+        plan=KagomeSevenFrequencyPlan(),
+        max_degree=4,
+    ))
+
+after which ``python -m repro run fig4 --topology kagome``, chiplet /
+MCM construction, the conformance test suite and the engine's cache
+keys all pick it up without further changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.frequencies import (
+    FrequencyAllocation,
+    FrequencyPlan,
+    FrequencySpec,
+    HeavyHexThreeFrequencyPlan,
+    RingThreeFrequencyPlan,
+    SquareFiveFrequencyPlan,
+)
+from repro.topology.base import Lattice
+from repro.topology.heavy_hex import heavy_hex_by_qubit_count
+from repro.topology.ring import ring_by_qubit_count
+from repro.topology.square import square_by_qubit_count
+
+__all__ = [
+    "Architecture",
+    "ArchitectureRegistry",
+    "ARCHITECTURES",
+    "DEFAULT_TOPOLOGY",
+    "get_architecture",
+]
+
+#: The paper's topology; every entry point defaults to it.
+DEFAULT_TOPOLOGY = "heavy-hex"
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """One registered topology scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"heavy-hex"``, ``"square"``, ``"ring"``, ...).
+    description:
+        One-line summary shown by ``python -m repro list``.
+    lattice_factory:
+        ``factory(num_qubits, name=None) -> Lattice`` building a
+        connected lattice with an exact qubit count.
+    plan:
+        The :class:`FrequencyPlan` keeping ideal devices collision-free.
+    max_degree:
+        Upper bound on qubit degree the factory guarantees (a
+        conformance-suite invariant, and a quick density indicator).
+    """
+
+    name: str
+    description: str
+    lattice_factory: Callable[..., Lattice] = field(compare=False)
+    plan: FrequencyPlan = field(compare=False)
+    max_degree: int = 3
+
+    def lattice(self, num_qubits: int, name: str | None = None) -> Lattice:
+        """Build a lattice of this topology with exactly ``num_qubits``."""
+        return self.lattice_factory(num_qubits, name=name)
+
+    def spec(self, step_ghz: float | None = None) -> FrequencySpec:
+        """A :class:`FrequencySpec` sized for this architecture's plan."""
+        return self.plan.spec(step_ghz=step_ghz)
+
+    def allocate(
+        self, lattice: Lattice, spec: FrequencySpec | None = None
+    ) -> FrequencyAllocation:
+        """Label a lattice of this topology under its frequency plan."""
+        return self.plan.allocate(lattice, spec=spec)
+
+
+class ArchitectureRegistry:
+    """Mutable name -> :class:`Architecture` mapping."""
+
+    def __init__(self) -> None:
+        self._architectures: dict[str, Architecture] = {}
+
+    def register(self, architecture: Architecture) -> Architecture:
+        """Register an architecture; raises on duplicate names."""
+        if architecture.name in self._architectures:
+            raise ValueError(f"topology {architecture.name!r} already registered")
+        self._architectures[architecture.name] = architecture
+        return architecture
+
+    def get(self, name: str) -> Architecture:
+        """Resolve a topology name; raises ``KeyError`` with the known set."""
+        if name not in self._architectures:
+            known = ", ".join(sorted(self._architectures))
+            raise KeyError(f"unknown topology {name!r}; known: {known}")
+        return self._architectures[name]
+
+    def names(self) -> list[str]:
+        """Registered topology names, in registration order."""
+        return list(self._architectures)
+
+    def specs(self) -> list[Architecture]:
+        """Every registered architecture, in registration order."""
+        return list(self._architectures.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._architectures
+
+    def __len__(self) -> int:
+        return len(self._architectures)
+
+
+ARCHITECTURES = ArchitectureRegistry()
+
+
+def get_architecture(name: str | None = None) -> Architecture:
+    """Resolve a topology name (``None`` -> the heavy-hex default)."""
+    return ARCHITECTURES.get(name or DEFAULT_TOPOLOGY)
+
+
+ARCHITECTURES.register(
+    Architecture(
+        name=DEFAULT_TOPOLOGY,
+        description="heavy-hexagon lattice, 3-frequency plan (the paper's design)",
+        lattice_factory=heavy_hex_by_qubit_count,
+        plan=HeavyHexThreeFrequencyPlan(),
+        max_degree=3,
+    )
+)
+ARCHITECTURES.register(
+    Architecture(
+        name="square",
+        description="square grid, 5-frequency distance-2 colouring (degree 4)",
+        lattice_factory=square_by_qubit_count,
+        plan=SquareFiveFrequencyPlan(),
+        max_degree=4,
+    )
+)
+ARCHITECTURES.register(
+    Architecture(
+        name="ring",
+        description="linear chain, period-3 3-frequency plan (degree 2)",
+        lattice_factory=ring_by_qubit_count,
+        plan=RingThreeFrequencyPlan(),
+        max_degree=2,
+    )
+)

@@ -184,15 +184,18 @@ def fabricate_chiplet_bin(
         edge_v = np.asarray([v for _, v in edges])
         detunings = np.abs(survivors[:, edge_u] - survivors[:, edge_v])
         errors = cx_model.sample_many(detunings, rng)
-        for row in range(survivors.shape[0]):
-            edge_errors = {
-                edges[col]: float(errors[row, col]) for col in range(len(edges))
-            }
-            chiplets.append(
-                FabricatedChiplet(
-                    frequencies_ghz=survivors[row].copy(), edge_errors=edge_errors
-                )
+        # One bulk ndarray -> Python-float conversion for the whole batch
+        # (tolist yields the same values as per-element float() casts),
+        # then a dict per survivor, instead of a Python loop over every
+        # (survivor, coupling) pair.
+        error_rows = errors.tolist()
+        chiplets = [
+            FabricatedChiplet(
+                frequencies_ghz=frequencies.copy(),
+                edge_errors=dict(zip(edges, row)),
             )
+            for frequencies, row in zip(survivors, error_rows)
+        ]
     chiplets.sort(key=lambda c: c.average_error)
     return ChipletBin(design=design, chiplets=chiplets, batch_size=batch_size)
 
@@ -208,21 +211,47 @@ def _try_placements(
 
     Returns the placement (a permutation of subset indices) and the number
     of reshuffles that were attempted.
+
+    The in-order placement is tested first (one cheap call — the common
+    case when the bin is clean).  When it collides, every candidate
+    permutation is drawn up front and evaluated in a *single* batched
+    :func:`collision_free_mask` call instead of up to ``max_reshuffles``
+    batch-of-1 calls (see ``benchmarks/bench_assembly.py`` for the
+    measured speedup).  To keep the caller's random stream bit-identical
+    to the historical draw-one-test-one loop — the same generator later
+    samples link errors — the generator state is saved before the bulk
+    draw and then replayed for exactly as many permutations as the
+    sequential search would have consumed.
     """
     num_chips = design.num_chips
-    order = list(range(num_chips))
-    attempts = 0
-    placement = order
-    while True:
-        frequencies = design.assemble_frequencies(
-            [subset[i].frequencies_ghz for i in placement]
-        )
-        if bool(collision_free_mask(design.allocation, frequencies, thresholds)[0]):
-            return placement, attempts
-        if attempts >= max_reshuffles:
-            return None, attempts
-        attempts += 1
-        placement = list(rng.permutation(num_chips))
+    identity = list(range(num_chips))
+    frequencies = design.assemble_frequencies(
+        [subset[i].frequencies_ghz for i in identity]
+    )
+    if bool(collision_free_mask(design.allocation, frequencies, thresholds)[0]):
+        return identity, 0
+    if max_reshuffles <= 0:
+        return None, 0
+
+    state = rng.bit_generator.state
+    permutations = np.stack(
+        [rng.permutation(num_chips) for _ in range(max_reshuffles)]
+    )
+    chip_frequencies = np.stack([c.frequencies_ghz for c in subset])
+    # chip_frequencies[permutations] has shape (reshuffles, chips, qubits);
+    # flattening the chip axis reproduces assemble_frequencies row by row.
+    candidate_batch = chip_frequencies[permutations].reshape(max_reshuffles, -1)
+    mask = collision_free_mask(design.allocation, candidate_batch, thresholds)
+    hits = np.flatnonzero(mask)
+
+    attempts = int(hits[0]) + 1 if hits.size else max_reshuffles
+    rng.bit_generator.state = state
+    for _ in range(attempts):
+        rng.permutation(num_chips)
+
+    if hits.size:
+        return [int(chip) for chip in permutations[hits[0]]], attempts
+    return None, attempts
 
 
 def assemble_mcms(

@@ -1,14 +1,16 @@
-"""Chiplet designs: small heavy-hex dies intended for MCM integration.
+"""Chiplet designs: small dies intended for MCM integration.
 
-A :class:`ChipletDesign` is a heavy-hex lattice with the three-frequency
-allocation plus the bookkeeping needed to stitch chiplets into a multi-chip
-module: which boundary qubits can host an inter-chip link, and which labels
-their existing Cross-Resonance targets carry (so that adding a link never
-creates an *ideal* Table I collision).
+A :class:`ChipletDesign` is a lattice of any registered topology (see
+:data:`repro.core.architecture.ARCHITECTURES`; heavy-hex by default)
+with its topology's frequency plan applied, plus the bookkeeping needed
+to stitch chiplets into a multi-chip module: which boundary qubits can
+host an inter-chip link, and which labels their existing Cross-Resonance
+targets carry (so that adding a link never creates an *ideal* Table I
+collision).
 
-The paper studies chiplets of 10, 20, 40, 60, 90, 120, 160, 200 and 250
-qubits; :data:`PAPER_CHIPLET_SIZES` lists them and
-:func:`ChipletDesign.build` constructs any size.
+The paper studies heavy-hex chiplets of 10, 20, 40, 60, 90, 120, 160,
+200 and 250 qubits; :data:`PAPER_CHIPLET_SIZES` lists them and
+:func:`ChipletDesign.build` constructs any size of any topology.
 """
 
 from __future__ import annotations
@@ -17,13 +19,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.architecture import DEFAULT_TOPOLOGY, get_architecture
 from repro.core.collisions import find_collisions
-from repro.core.frequencies import (
-    FrequencyAllocation,
-    FrequencySpec,
-    allocate_heavy_hex_frequencies,
-)
-from repro.topology.heavy_hex import HeavyHexLattice, heavy_hex_by_qubit_count
+from repro.core.frequencies import FrequencyAllocation, FrequencySpec
+from repro.topology.base import Lattice
 
 __all__ = ["ChipletDesign", "PAPER_CHIPLET_SIZES"]
 
@@ -33,19 +32,19 @@ PAPER_CHIPLET_SIZES = (10, 20, 40, 60, 90, 120, 160, 200, 250)
 
 @dataclass
 class ChipletDesign:
-    """A chiplet: heavy-hex lattice + frequency plan + link-site metadata.
+    """A chiplet: lattice + frequency plan + link-site metadata.
 
     Attributes
     ----------
     lattice:
-        The chiplet's heavy-hex lattice.
+        The chiplet's qubit lattice (any registered topology).
     allocation:
         Ideal frequency plan of the chiplet.
     name:
         Identifier, e.g. ``"chiplet-20"``.
     """
 
-    lattice: HeavyHexLattice
+    lattice: Lattice
     allocation: FrequencyAllocation
     name: str
     _row_boundaries: dict[str, dict[int, int]] = field(
@@ -58,15 +57,24 @@ class ChipletDesign:
         num_qubits: int,
         spec: FrequencySpec | None = None,
         name: str | None = None,
+        topology: str | None = None,
     ) -> "ChipletDesign":
         """Construct a chiplet with exactly ``num_qubits`` qubits.
 
-        The underlying lattice is chosen by :func:`heavy_hex_by_qubit_count`
-        and must be ideally collision-free under the given frequency spec.
+        The underlying lattice comes from the registered topology's
+        factory (heavy-hex when ``topology`` is omitted), the labels
+        from its frequency plan, and the result must be ideally
+        collision-free under the given frequency spec.
         """
-        label = name or f"chiplet-{num_qubits}"
-        lattice = heavy_hex_by_qubit_count(num_qubits, name=label)
-        allocation = allocate_heavy_hex_frequencies(lattice, spec=spec)
+        arch = get_architecture(topology)
+        if name is not None:
+            label = name
+        elif arch.name == DEFAULT_TOPOLOGY:
+            label = f"chiplet-{num_qubits}"
+        else:
+            label = f"chiplet-{arch.name}-{num_qubits}"
+        lattice = arch.lattice(num_qubits, name=label)
+        allocation = arch.allocate(lattice, spec=spec)
         design = cls(lattice=lattice, allocation=allocation, name=label)
         report = find_collisions(allocation, allocation.ideal_frequencies)
         if not report.is_collision_free:

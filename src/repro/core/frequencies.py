@@ -1,32 +1,48 @@
-"""Three-frequency allocation for heavy-hex transmon lattices.
+"""Frequency-plan strategies for fixed-frequency transmon lattices.
 
 The paper (Section III-B) avoids frequency collisions at design time by
-assigning every qubit one of three ideal frequencies ``F0 < F1 < F2`` such
-that
+assigning every qubit one of a small set of ideal frequencies
+``F0 < F1 < ... < F(k-1)`` laid out so that the Table I criteria cannot
+fire on an ideally fabricated device.  How many frequencies are needed,
+and how the labels tile the device, depends on the topology:
 
-* nearest neighbours never share a label,
-* the highest frequency, ``F2``, is only given to qubits of degree <= 2
-  (the heavy-hex *bridge* qubits), which act as the control in
-  Cross-Resonance interactions, and
-* an ``F2`` qubit is never surrounded by two qubits of the same label.
+* **heavy-hex** (the paper's choice) — three frequencies; the highest,
+  ``F2``, goes only to the degree <= 2 bridge qubits, which act as the
+  control of every Cross-Resonance interaction
+  (:class:`HeavyHexThreeFrequencyPlan`);
+* **square grid** — five frequencies in the classic distance-2 colouring
+  ``(row + 2*col) mod 5``, so every closed neighbourhood carries five
+  distinct labels (:class:`SquareFiveFrequencyPlan`);
+* **ring / chain** — three frequencies repeating with period three along
+  the line (:class:`RingThreeFrequencyPlan`).
 
-This module produces a :class:`FrequencyAllocation` for a lattice: per-qubit
-labels, ideal frequencies, anharmonicities, a directed control->target view
-of every coupling, and the (control, target, target) triples required by the
-Table I criteria of types 5-7.
+Each strategy is a :class:`FrequencyPlan`: a picklable object that maps
+a :class:`repro.topology.base.Lattice` to per-qubit labels and builds a
+:class:`FrequencyAllocation` — per-qubit ideal frequencies and
+anharmonicities, a directed control->target view of every coupling, and
+the (control, target, target) triples required by the Table I criteria
+of types 5-7.  Plans are registered per topology in
+:data:`repro.core.architecture.ARCHITECTURES`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.topology.base import Lattice
 from repro.topology.heavy_hex import HeavyHexLattice
 
 __all__ = [
     "FrequencySpec",
     "FrequencyAllocation",
+    "FrequencyPlan",
+    "HeavyHexThreeFrequencyPlan",
+    "SquareFiveFrequencyPlan",
+    "RingThreeFrequencyPlan",
     "allocate_heavy_hex_frequencies",
     "allocation_from_labels",
     "heavy_hex_labels",
@@ -49,7 +65,7 @@ DEFAULT_STEP_GHZ = 0.06
 
 @dataclass(frozen=True)
 class FrequencySpec:
-    """Design targets for the three-frequency heavy-hex pattern.
+    """Design targets for an equally spaced frequency pattern.
 
     Attributes
     ----------
@@ -57,28 +73,30 @@ class FrequencySpec:
         Ideal frequency of the ``F0`` qubits.
     step_ghz:
         Detuning between consecutive ideal frequencies, so
-        ``F1 = F0 + step`` and ``F2 = F0 + 2 * step``.
+        ``F(k) = F0 + k * step``.
     anharmonicity_ghz:
         Transmon anharmonicity (negative).
+    num_frequencies:
+        Number of distinct ideal frequencies the plan uses (three for
+        the paper's heavy-hex pattern, five for the square lattice).
     """
 
     base_ghz: float = DEFAULT_BASE_FREQUENCY_GHZ
     step_ghz: float = DEFAULT_STEP_GHZ
     anharmonicity_ghz: float = DEFAULT_ANHARMONICITY_GHZ
+    num_frequencies: int = 3
 
     def frequency_for_label(self, label: int) -> float:
-        """Ideal frequency (GHz) of a qubit with label 0, 1 or 2."""
-        if label not in (0, 1, 2):
+        """Ideal frequency (GHz) of a qubit with a valid label."""
+        if not 0 <= label < self.num_frequencies:
             raise ValueError(f"unknown frequency label {label}")
         return self.base_ghz + label * self.step_ghz
 
     @property
-    def frequencies(self) -> tuple[float, float, float]:
-        """The three ideal frequencies ``(F0, F1, F2)``."""
-        return (
-            self.frequency_for_label(0),
-            self.frequency_for_label(1),
-            self.frequency_for_label(2),
+    def frequencies(self) -> tuple[float, ...]:
+        """The ideal frequencies ``(F0, F1, ..., F(k-1))``."""
+        return tuple(
+            self.frequency_for_label(label) for label in range(self.num_frequencies)
         )
 
 
@@ -91,7 +109,8 @@ class FrequencyAllocation:
     spec:
         The :class:`FrequencySpec` this allocation was built from.
     labels:
-        Per-qubit frequency label (0, 1 or 2) as an ``int`` array.
+        Per-qubit frequency label (``0 .. num_frequencies - 1``) as an
+        ``int`` array.
     ideal_frequencies:
         Per-qubit ideal frequency in GHz.
     anharmonicities:
@@ -175,7 +194,7 @@ _DENSE_ROW_PATTERN = (1, 2, 0, 2)
 
 
 def dense_label(row: int, col: int, phase: int = 0) -> int:
-    """Frequency label of a dense-row qubit at ``(row, col)``.
+    """Frequency label of a heavy-hex dense-row qubit at ``(row, col)``.
 
     Odd dense rows are shifted by two columns so that bridge qubits (which
     sit at columns 0/2 modulo 4) always connect an F0 qubit to an F1 qubit.
@@ -211,8 +230,11 @@ def allocation_from_labels(
     labels = np.asarray(labels, dtype=np.int64)
     if labels.ndim != 1:
         raise ValueError("labels must be a one-dimensional array")
-    if labels.size and (labels.min() < 0 or labels.max() > 2):
-        raise ValueError("labels must be 0, 1 or 2")
+    if labels.size and (labels.min() < 0 or labels.max() >= spec.num_frequencies):
+        raise ValueError(
+            f"labels must lie in [0, {spec.num_frequencies - 1}] "
+            f"for a {spec.num_frequencies}-frequency spec"
+        )
     ideal = np.asarray([spec.frequency_for_label(int(l)) for l in labels], dtype=float)
     anharmonicity = np.full(labels.shape[0], spec.anharmonicity_ghz, dtype=float)
     directed = _orient_edges(edges, labels, ideal)
@@ -227,12 +249,157 @@ def allocation_from_labels(
     )
 
 
+class FrequencyPlan(ABC):
+    """Strategy interface: how a topology's qubits get frequency labels.
+
+    A plan owns three decisions:
+
+    1. **labelling** — :meth:`labels` maps every lattice site to one of
+       ``num_frequencies`` labels such that an *ideally* fabricated
+       device violates none of the Table I criteria;
+    2. **orientation** — implicitly, via the shared higher-frequency-is-
+       control rule applied to the plan's labels; and
+    3. **triples** — the (control, target, target) sets of criteria 5-7,
+       derived from that orientation.
+
+    Subclasses are small frozen dataclasses, so plans are picklable
+    (engine workers), hashable and stable under the engine's
+    content-addressed cache keys.
+    """
+
+    #: Identifier of the plan (used in logs and registry descriptions).
+    name: str = "plan"
+
+    #: Number of distinct ideal frequencies the plan hands out.
+    num_frequencies: int = 3
+
+    @abstractmethod
+    def labels(self, lattice: Lattice) -> np.ndarray:
+        """Per-qubit frequency labels (``0 .. num_frequencies - 1``)."""
+
+    def spec(
+        self,
+        step_ghz: float | None = None,
+        base_ghz: float | None = None,
+        anharmonicity_ghz: float | None = None,
+    ) -> FrequencySpec:
+        """A :class:`FrequencySpec` sized for this plan's label count."""
+        return FrequencySpec(
+            base_ghz=DEFAULT_BASE_FREQUENCY_GHZ if base_ghz is None else base_ghz,
+            step_ghz=DEFAULT_STEP_GHZ if step_ghz is None else step_ghz,
+            anharmonicity_ghz=(
+                DEFAULT_ANHARMONICITY_GHZ
+                if anharmonicity_ghz is None
+                else anharmonicity_ghz
+            ),
+            num_frequencies=self.num_frequencies,
+        )
+
+    def coerce_spec(self, spec: FrequencySpec | None) -> FrequencySpec:
+        """Resize a caller-provided spec to this plan's label count.
+
+        Callers that only care about physics parameters (step, base,
+        anharmonicity) can hand any spec to any plan; a spec already
+        sized correctly — every existing heavy-hex call site — passes
+        through untouched.
+        """
+        if spec is None:
+            return self.spec()
+        if spec.num_frequencies != self.num_frequencies:
+            spec = dataclasses.replace(spec, num_frequencies=self.num_frequencies)
+        return spec
+
+    def allocate(
+        self, lattice: Lattice, spec: FrequencySpec | None = None
+    ) -> FrequencyAllocation:
+        """Label a lattice and build its :class:`FrequencyAllocation`."""
+        return allocation_from_labels(
+            self.labels(lattice), lattice.edges, spec=self.coerce_spec(spec)
+        )
+
+
+@dataclass(frozen=True)
+class HeavyHexThreeFrequencyPlan(FrequencyPlan):
+    """The paper's three-frequency heavy-hex pattern.
+
+    Dense rows carry the period-4 pattern ``F1, F2, F0, F2`` (odd rows
+    shifted by two columns); bridge qubits always carry F2, so only
+    degree <= 2 qubits ever act as Cross-Resonance controls.
+
+    Attributes
+    ----------
+    phase:
+        Column offset of the dense-row pattern, letting MCM assembly
+        shift individual chiplets when stitching them together.
+    """
+
+    phase: int = 0
+
+    name = "heavy-hex-3f"
+    num_frequencies = 3
+
+    def labels(self, lattice: Lattice) -> np.ndarray:
+        return heavy_hex_labels(lattice, phase=self.phase)
+
+
+@dataclass(frozen=True)
+class SquareFiveFrequencyPlan(FrequencyPlan):
+    """Five-frequency distance-2 colouring of the square lattice.
+
+    ``label(row, col) = (row + 2*col + phase) mod 5`` gives every site a
+    label distinct from everything within two hops — all four neighbours
+    *and* all pairs of targets sharing a control differ, which is what
+    keeps types 1 and 5 off an ideal device.  The remaining criteria
+    stay clear because label differences span at most four steps
+    (<= 0.28 GHz at the sweep's largest step) while the type 2/3/6/7
+    conditions sit near half or full anharmonicity (0.165 / 0.330 GHz).
+    """
+
+    phase: int = 0
+
+    name = "square-5f"
+    num_frequencies = 5
+
+    def labels(self, lattice: Lattice) -> np.ndarray:
+        labels = np.empty(lattice.num_qubits, dtype=np.int64)
+        for site in lattice.sites:
+            labels[site.index] = (site.row + 2 * site.col + self.phase) % 5
+        return labels
+
+
+@dataclass(frozen=True)
+class RingThreeFrequencyPlan(FrequencyPlan):
+    """Period-3 three-frequency pattern along a chain.
+
+    ``label(i) = (i + phase) mod 3``: neighbours always differ, and the
+    two targets of any shared control (the local-maximum F2 qubits) are
+    one F0 and one F1.  Seam-free closed rings additionally require the
+    qubit count to be a multiple of three — the reason the registered
+    ``ring`` architecture builds open chains (see
+    :mod:`repro.topology.ring`).
+    """
+
+    phase: int = 0
+
+    name = "ring-3f"
+    num_frequencies = 3
+
+    def labels(self, lattice: Lattice) -> np.ndarray:
+        labels = np.empty(lattice.num_qubits, dtype=np.int64)
+        for site in lattice.sites:
+            labels[site.index] = (site.col + self.phase) % 3
+        return labels
+
+
 def allocate_heavy_hex_frequencies(
     lattice: HeavyHexLattice,
     spec: FrequencySpec | None = None,
     phase: int = 0,
 ) -> FrequencyAllocation:
     """Allocate the three-frequency heavy-hex pattern onto a lattice.
+
+    Kept as the long-standing convenience entry point; equivalent to
+    ``HeavyHexThreeFrequencyPlan(phase=phase).allocate(lattice, spec)``.
 
     Parameters
     ----------
@@ -243,5 +410,4 @@ def allocate_heavy_hex_frequencies(
     phase:
         Parity flip of the F0/F1 assignment (0 or 1).
     """
-    labels = heavy_hex_labels(lattice, phase=phase)
-    return allocation_from_labels(labels, lattice.edges, spec=spec)
+    return HeavyHexThreeFrequencyPlan(phase=phase).allocate(lattice, spec=spec)

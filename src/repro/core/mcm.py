@@ -1,12 +1,14 @@
 """Multi-chip module (MCM) topologies.
 
 An :class:`MCMDesign` arranges ``k x m`` copies of one chiplet design on an
-interposer and wires adjacent chiplets together with inter-chip links.  Link
-placement follows the paper's requirements:
+interposer and wires adjacent chiplets together with inter-chip links.  The
+chiplet can be of any registered topology (heavy-hex, square, ring, ...);
+link placement works purely from the chiplet's boundary sites and frequency
+labels, following the paper's requirements:
 
-* links preserve the heavy-hex character of the lattice — they are sparse
-  (every other dense row horizontally, every fourth column vertically) and
-  never raise a qubit's link count above one;
+* links preserve the sparse-coupling character of the lattice — they are
+  placed every other boundary row horizontally and every fourth column
+  vertically, and never raise a qubit's link count above one;
 * the two endpoints of a link always carry different frequency labels and
   the higher-frequency endpoint acts as the control of the inter-chip
   Cross-Resonance gate;

@@ -1,9 +1,11 @@
 """Monte-Carlo collision-free yield model (paper Section IV-B, Fig. 4).
 
-The simulation virtually fabricates a batch of heavy-hex devices, samples
-their qubit frequencies from the fabrication model, evaluates the seven
-Table I collision criteria, and reports the fraction of devices with no
-collision — the *collision-free yield*.  Every :class:`YieldResult` now
+The simulation virtually fabricates a batch of devices of any registered
+topology (heavy-hex by default; see
+:data:`repro.core.architecture.ARCHITECTURES`), samples their qubit
+frequencies from the fabrication model, evaluates the seven Table I
+collision criteria, and reports the fraction of devices with no
+collision — the *collision-free yield*.  Every :class:`YieldResult`
 carries a binomial confidence interval (Wilson by default) alongside the
 point estimate.
 
@@ -41,13 +43,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.architecture import DEFAULT_TOPOLOGY, get_architecture
 from repro.core.collisions import CollisionThresholds, collision_free_mask
 from repro.core.fabrication import FabricationModel
-from repro.core.frequencies import (
-    FrequencyAllocation,
-    FrequencySpec,
-    allocate_heavy_hex_frequencies,
-)
+from repro.core.frequencies import FrequencyAllocation
 
 # Shared with the engine: positional child-seed derivation (execution order
 # never changes a point's stream) and the executor dispatch.  Note this
@@ -65,7 +64,7 @@ from repro.stats import (
     chunk_layout,
     chunk_seed,
 )
-from repro.topology.heavy_hex import HeavyHexLattice, heavy_hex_by_qubit_count
+from repro.topology.base import Lattice
 
 __all__ = [
     "YieldResult",
@@ -416,7 +415,8 @@ def simulate_yield_chunk(
     chunk_length: int,
     seed: int | None,
     thresholds: CollisionThresholds | None = None,
-    lattice: HeavyHexLattice | None = None,
+    lattice: Lattice | None = None,
+    topology: str | None = None,
 ) -> tuple[int, int]:
     """One spawn-seeded chunk as a self-contained engine task.
 
@@ -425,11 +425,10 @@ def simulate_yield_chunk(
     picklable function of its arguments and can run in any worker
     process.  Returns ``(num_collision_free, chunk_length)``.
     """
+    arch = get_architecture(topology)
     if lattice is None:
-        lattice = heavy_hex_by_qubit_count(num_qubits)
-    allocation = allocate_heavy_hex_frequencies(
-        lattice, spec=FrequencySpec(step_ghz=step_ghz)
-    )
+        lattice = arch.lattice(num_qubits)
+    allocation = arch.allocate(lattice, spec=arch.spec(step_ghz=step_ghz))
     fabrication = FabricationModel(sigma_ghz=sigma_ghz)
     frequencies = fabrication.sample_batch(
         allocation, chunk_length, np.random.default_rng(seed)
@@ -446,10 +445,11 @@ def simulate_yield_chunks(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     seed: int | None = None,
     thresholds: CollisionThresholds | None = None,
-    lattice: HeavyHexLattice | None = None,
+    lattice: Lattice | None = None,
     executor=None,
     confidence: float = DEFAULT_CONFIDENCE,
     ci_method: str = "wilson",
+    topology: str | None = None,
 ) -> YieldResult:
     """The chunked estimate with chunks fanned out as engine tasks.
 
@@ -460,7 +460,7 @@ def simulate_yield_chunks(
     processes execute the chunks.
     """
     if lattice is None:
-        lattice = heavy_hex_by_qubit_count(num_qubits)
+        lattice = get_architecture(topology).lattice(num_qubits)
     kwargs_list = [
         dict(
             sigma_ghz=sigma_ghz,
@@ -470,6 +470,7 @@ def simulate_yield_chunks(
             seed=chunk_seed(seed, index),
             thresholds=thresholds,
             lattice=lattice,
+            **_topology_kwargs(topology),
         )
         for index, length in enumerate(chunk_layout(batch_size, chunk_size))
     ]
@@ -496,19 +497,22 @@ def simulate_yield_point(
     batch_size: int = DEFAULT_BATCH_SIZE,
     seed: int | None = None,
     thresholds: CollisionThresholds | None = None,
-    lattice: HeavyHexLattice | None = None,
+    lattice: Lattice | None = None,
     chunk_size: int | None = None,
     ci_target: float | None = None,
     max_samples: int | None = None,
     confidence: float = DEFAULT_CONFIDENCE,
     ci_method: str = "wilson",
+    topology: str | None = None,
 ) -> YieldResult:
     """One self-contained (sigma, step, size) Monte-Carlo point.
 
     This is the unit of work the sweep entry points submit to the engine:
     a module-level function of picklable arguments, so it runs identically
-    in a worker process and in the calling process.  The statistics
-    parameters select the sampler:
+    in a worker process and in the calling process.  ``topology`` selects
+    the registered architecture (lattice factory + frequency plan);
+    heavy-hex when omitted.  The statistics parameters select the
+    sampler:
 
     * ``ci_target`` set — adaptive chunked sampling, capped at
       ``max_samples`` (``batch_size`` when unset);
@@ -516,14 +520,14 @@ def simulate_yield_point(
       full ``batch_size`` in O(chunk) memory;
     * neither — the legacy monolithic single-draw batch.
 
-    All statistics parameters participate in the engine's cache key, so
-    changing any of them invalidates previously cached points.
+    All statistics and topology parameters participate in the engine's
+    cache key, so changing any of them invalidates previously cached
+    points.
     """
+    arch = get_architecture(topology)
     if lattice is None:
-        lattice = heavy_hex_by_qubit_count(num_qubits)
-    allocation = allocate_heavy_hex_frequencies(
-        lattice, spec=FrequencySpec(step_ghz=step_ghz)
-    )
+        lattice = arch.lattice(num_qubits)
+    allocation = arch.allocate(lattice, spec=arch.spec(step_ghz=step_ghz))
     fabrication = FabricationModel(sigma_ghz=sigma_ghz)
     if ci_target is not None:
         return simulate_yield_adaptive(
@@ -578,6 +582,18 @@ def _stats_point_kwargs(stats: StatsOptions | None) -> dict:
     )
 
 
+def _topology_kwargs(topology: str | None) -> dict:
+    """Per-point kwargs encoding the topology selection.
+
+    Like :func:`_stats_point_kwargs`, returned empty for the default so
+    heavy-hex sweeps keep their exact parameter sets and cache keys;
+    any other topology becomes part of every point's cache identity.
+    """
+    if topology is None or topology == DEFAULT_TOPOLOGY:
+        return {}
+    return dict(topology=topology)
+
+
 def yield_vs_qubits(
     sigma_ghz: float,
     step_ghz: float,
@@ -585,18 +601,19 @@ def yield_vs_qubits(
     batch_size: int = DEFAULT_BATCH_SIZE,
     seed: int | None = 7,
     thresholds: CollisionThresholds | None = None,
-    lattices: dict[int, HeavyHexLattice] | None = None,
+    lattices: dict[int, Lattice] | None = None,
     executor=None,
     stats: StatsOptions | None = None,
+    topology: str | None = None,
 ) -> YieldCurve:
-    """Collision-free yield curve over a range of heavy-hex device sizes.
+    """Collision-free yield curve over a range of device sizes.
 
     Parameters
     ----------
     sigma_ghz:
         Fabrication precision of the batch.
     step_ghz:
-        Ideal detuning between F0, F1 and F2.
+        Ideal detuning between consecutive frequencies.
     sizes:
         Device sizes (qubits) to probe.
     batch_size:
@@ -616,15 +633,19 @@ def yield_vs_qubits(
         Optional :class:`repro.stats.StatsOptions` switching every point
         to chunked streaming / adaptive sampling with CIs at the
         requested confidence.
+    topology:
+        Registered topology name (heavy-hex when omitted).
     """
+    arch = get_architecture(topology)
     curve = YieldCurve(sigma_ghz=sigma_ghz, step_ghz=step_ghz)
     stats_kwargs = _stats_point_kwargs(stats)
+    topo_kwargs = _topology_kwargs(topology)
     kwargs_list = []
     for size, child_seed in zip(sizes, _point_seeds(seed, len(sizes))):
         if lattices is not None and size in lattices:
             lattice = lattices[size]
         else:
-            lattice = heavy_hex_by_qubit_count(size)
+            lattice = arch.lattice(size)
             if lattices is not None:
                 lattices[size] = lattice
         kwargs_list.append(
@@ -637,6 +658,7 @@ def yield_vs_qubits(
                 thresholds=thresholds,
                 lattice=lattice,
                 **stats_kwargs,
+                **topo_kwargs,
             )
         )
     curve.points.extend(
@@ -654,6 +676,7 @@ def detuning_sweep(
     thresholds: CollisionThresholds | None = None,
     executor=None,
     stats: StatsOptions | None = None,
+    topology: str | None = None,
 ) -> dict[tuple[float, float], YieldCurve]:
     """The full Fig. 4 grid: one yield curve per (step, sigma) combination.
 
@@ -672,13 +695,15 @@ def detuning_sweep(
     dict
         Mapping ``(step_ghz, sigma_ghz) -> YieldCurve``.
     """
+    arch = get_architecture(topology)
     combos = [(step, sigma) for step in steps_ghz for sigma in sigmas_ghz]
     curve_seeds = _point_seeds(seed, len(combos))
     stats_kwargs = _stats_point_kwargs(stats)
+    topo_kwargs = _topology_kwargs(topology)
 
-    lattices: dict[int, HeavyHexLattice] = {}
+    lattices: dict[int, Lattice] = {}
     for size in sizes:
-        lattices[size] = heavy_hex_by_qubit_count(size)
+        lattices[size] = arch.lattice(size)
 
     kwargs_list = []
     for (step, sigma), curve_seed in zip(combos, curve_seeds):
@@ -693,6 +718,7 @@ def detuning_sweep(
                     thresholds=thresholds,
                     lattice=lattices[size],
                     **stats_kwargs,
+                    **topo_kwargs,
                 )
             )
 

@@ -25,14 +25,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.architecture import get_architecture
 from repro.core.fabrication import SIGMA_AS_FABRICATED_GHZ
-from repro.core.frequencies import allocate_heavy_hex_frequencies
 from repro.device.noise import (
     EmpiricalCXModel,
     ON_CHIP_MEAN_INFIDELITY,
     ON_CHIP_MEDIAN_INFIDELITY,
 )
-from repro.topology.heavy_hex import HeavyHexLattice, heavy_hex_by_qubit_count
+from repro.topology.base import Lattice
 
 __all__ = [
     "EdgeCalibration",
@@ -163,7 +163,7 @@ class SyntheticCalibrationGenerator:
     anharmonicity_ghz:
         Transmon anharmonicity controlling where the error peaks sit.
     frequency_spread_ghz:
-        Scatter of actual frequencies around the three-frequency pattern;
+        Scatter of actual frequencies around the topology's ideal pattern;
         the paper quotes ~0.1 GHz spreads for as-fabricated devices, which
         is what produces detunings spanning several bins.
     noise_sigma:
@@ -203,9 +203,10 @@ class SyntheticCalibrationGenerator:
         name: str | None = None,
         num_cycles: int = DEFAULT_NUM_CYCLES,
         seed: int | None = 11,
-        lattice: HeavyHexLattice | None = None,
+        lattice: Lattice | None = None,
+        topology: str | None = None,
     ) -> CalibrationDataset:
-        """Generate a calibration history for a heavy-hex device.
+        """Generate a calibration history for a device of any topology.
 
         Parameters
         ----------
@@ -219,10 +220,13 @@ class SyntheticCalibrationGenerator:
             Random seed (``None`` for non-deterministic output).
         lattice:
             Optional pre-built lattice to reuse.
+        topology:
+            Registered topology name (heavy-hex when omitted).
         """
         rng = np.random.default_rng(seed)
-        lattice = lattice or heavy_hex_by_qubit_count(num_qubits)
-        allocation = allocate_heavy_hex_frequencies(lattice)
+        arch = get_architecture(topology)
+        lattice = lattice or arch.lattice(num_qubits)
+        allocation = arch.allocate(lattice)
         frequencies = allocation.ideal_frequencies + rng.normal(
             0.0, self.frequency_spread_ghz, size=allocation.num_qubits
         )

@@ -32,6 +32,10 @@ class ExperimentSpec:
         True when the runner threads statistics options (chunked /
         adaptive Monte-Carlo) into its sampling; the CLI warns when
         statistics flags are passed to an experiment that ignores them.
+    topology_aware:
+        True when the runner threads a ``--topology`` selection into its
+        models; the CLI warns when the flag is passed to an experiment
+        that ignores it.
     """
 
     name: str
@@ -39,6 +43,7 @@ class ExperimentSpec:
     runner: Callable[..., Any]
     aliases: tuple[str, ...] = field(default=())
     stats_aware: bool = False
+    topology_aware: bool = False
 
 
 class ExperimentRegistry:
@@ -55,6 +60,7 @@ class ExperimentRegistry:
         runner: Callable[..., Any],
         aliases: tuple[str, ...] = (),
         stats_aware: bool = False,
+        topology_aware: bool = False,
     ) -> ExperimentSpec:
         """Register an experiment; raises on duplicate names or aliases."""
         spec = ExperimentSpec(
@@ -63,6 +69,7 @@ class ExperimentRegistry:
             runner=runner,
             aliases=aliases,
             stats_aware=stats_aware,
+            topology_aware=topology_aware,
         )
         for key in (name, *aliases):
             if key in self._specs or key in self._aliases:

@@ -5,6 +5,9 @@ fixed-frequency transmon processors (Falcon, Hummingbird, Eagle) and by the
 chiplet designs of the paper.  Qubits sit both on the vertices and on the
 edges of a hexagonal tiling, which keeps the maximum qubit degree at three
 and makes the lattice three-colourable with the F0/F1/F2 frequency pattern.
+It is the *default* topology of this reproduction, registered alongside the
+square-grid and ring alternatives in
+:data:`repro.core.architecture.ARCHITECTURES`.
 
 The construction used here mirrors the IBM layout:
 
@@ -14,7 +17,8 @@ The construction used here mirrors the IBM layout:
   that connect vertically, one bridge every four columns, with the column
   offset alternating between 0 and 2 from one bridge row to the next.
 
-``HeavyHexLattice`` is an immutable description of one such lattice.  The
+``HeavyHexLattice`` is an immutable description of one such lattice,
+implementing the :class:`repro.topology.base.Lattice` protocol.  The
 factory :func:`heavy_hex_by_qubit_count` searches the (rows, columns) space
 and, when necessary, trims non-articulation qubits so that the returned
 lattice contains *exactly* the requested number of qubits while remaining
@@ -27,6 +31,8 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 import networkx as nx
+
+from repro.topology.base import LatticeOps, QubitSite
 
 __all__ = [
     "QubitSite",
@@ -42,35 +48,6 @@ _BRIDGE_OFFSETS = (0, 2)
 
 #: Spacing (in columns) between two bridge qubits within a bridge row.
 _BRIDGE_PERIOD = 4
-
-
-@dataclass(frozen=True)
-class QubitSite:
-    """Geometric description of one qubit in a heavy-hex lattice.
-
-    Attributes
-    ----------
-    index:
-        Integer identifier of the qubit within its lattice.
-    kind:
-        Either ``"dense"`` (qubit in a dense row) or ``"bridge"`` (qubit that
-        connects two dense rows vertically).
-    row:
-        Dense-row index.  For bridge qubits this is the index of the dense
-        row *above* the bridge.
-    col:
-        Column index within the row.
-    """
-
-    index: int
-    kind: str
-    row: int
-    col: int
-
-    @property
-    def is_bridge(self) -> bool:
-        """True when the qubit is a vertical bridge (degree <= 2) qubit."""
-        return self.kind == "bridge"
 
 
 def bridge_columns(cols: int, bridge_row: int) -> list[int]:
@@ -98,7 +75,7 @@ def heavy_hex_qubit_count(rows: int, cols: int) -> int:
 
 
 @dataclass
-class HeavyHexLattice:
+class HeavyHexLattice(LatticeOps):
     """A heavy-hexagon qubit lattice.
 
     Instances are normally created through :func:`build_heavy_hex` or
@@ -122,88 +99,6 @@ class HeavyHexLattice:
     edges: list[tuple[int, int]]
     name: str = "heavy-hex"
     _graph: nx.Graph | None = field(default=None, repr=False, compare=False)
-
-    @property
-    def num_qubits(self) -> int:
-        """Number of qubits in the lattice."""
-        return len(self.sites)
-
-    @property
-    def num_edges(self) -> int:
-        """Number of qubit-qubit couplings in the lattice."""
-        return len(self.edges)
-
-    def site(self, index: int) -> QubitSite:
-        """Return the :class:`QubitSite` for a qubit index."""
-        return self.sites[index]
-
-    def graph(self) -> nx.Graph:
-        """Return (and cache) the lattice as a :class:`networkx.Graph`."""
-        if self._graph is None:
-            graph = nx.Graph()
-            graph.add_nodes_from(site.index for site in self.sites)
-            graph.add_edges_from(self.edges)
-            self._graph = graph
-        return self._graph
-
-    def degree(self, index: int) -> int:
-        """Degree of a qubit in the coupling graph."""
-        return self.graph().degree[index]
-
-    def max_degree(self) -> int:
-        """Largest qubit degree in the lattice."""
-        return max(dict(self.graph().degree).values())
-
-    def is_connected(self) -> bool:
-        """True when every qubit can reach every other qubit."""
-        return nx.is_connected(self.graph())
-
-    def dense_qubits(self) -> list[int]:
-        """Indices of the dense-row qubits."""
-        return [site.index for site in self.sites if not site.is_bridge]
-
-    def bridge_qubits(self) -> list[int]:
-        """Indices of the bridge (degree <= 2) qubits."""
-        return [site.index for site in self.sites if site.is_bridge]
-
-    def boundary_right(self) -> list[int]:
-        """Dense qubits on the right boundary (one per dense row, if present)."""
-        result = []
-        for row in range(self.rows):
-            row_sites = [
-                s for s in self.sites if not s.is_bridge and s.row == row
-            ]
-            if row_sites:
-                result.append(max(row_sites, key=lambda s: s.col).index)
-        return result
-
-    def boundary_left(self) -> list[int]:
-        """Dense qubits on the left boundary (one per dense row, if present)."""
-        result = []
-        for row in range(self.rows):
-            row_sites = [
-                s for s in self.sites if not s.is_bridge and s.row == row
-            ]
-            if row_sites:
-                result.append(min(row_sites, key=lambda s: s.col).index)
-        return result
-
-    def boundary_bottom(self) -> list[int]:
-        """Dense qubits in the last dense row, ordered by column."""
-        last_row = max(s.row for s in self.sites if not s.is_bridge)
-        return [
-            s.index
-            for s in sorted(self.sites, key=lambda s: s.col)
-            if not s.is_bridge and s.row == last_row
-        ]
-
-    def boundary_top(self) -> list[int]:
-        """Dense qubits in the first dense row, ordered by column."""
-        return [
-            s.index
-            for s in sorted(self.sites, key=lambda s: s.col)
-            if not s.is_bridge and s.row == 0
-        ]
 
     def relabelled(self, name: str) -> "HeavyHexLattice":
         """Return a copy of the lattice under a different name."""

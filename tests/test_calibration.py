@@ -8,7 +8,6 @@ import pytest
 from repro.device.calibration import (
     IBM_PROCESSORS,
     SyntheticCalibrationGenerator,
-    washington_cx_model,
 )
 
 

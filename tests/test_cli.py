@@ -15,16 +15,23 @@ def isolated_cache(tmp_path, monkeypatch):
 
 
 class TestRegistryContents:
-    def test_all_ten_experiments_registered(self):
+    def test_all_twelve_experiments_registered(self):
         assert set(EXPERIMENTS.names()) == {
             "fig3", "table1", "fig4", "fig6", "sec5c",
             "fig7", "fig8", "fig9", "fig10", "table2",
+            "topoyield", "topomcm",
         }
 
     def test_aliases_resolve(self):
         assert EXPERIMENTS.get("yield").name == "fig4"
         assert EXPERIMENTS.get("mcm").name == "fig8"
         assert EXPERIMENTS.get("apps").name == "fig10"
+        assert EXPERIMENTS.get("topologies").name == "topoyield"
+
+    def test_topology_awareness_flags(self):
+        assert EXPERIMENTS.get("fig4").topology_aware
+        assert EXPERIMENTS.get("topoyield").topology_aware
+        assert not EXPERIMENTS.get("fig8").topology_aware
 
     def test_build_study_respects_seed_and_batch(self):
         study = build_study(seed=5, batch_size=123)
@@ -37,6 +44,8 @@ class TestCLI:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig4" in out and "table2" in out
+        assert "topologies (for --topology):" in out
+        assert "heavy-hex" in out and "square" in out and "ring" in out
 
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
@@ -80,6 +89,41 @@ class TestCLI:
         assert "entries: 132" in capsys.readouterr().out
         assert main(["cache", "clear"]) == 0
         assert "removed 132" in capsys.readouterr().out
+
+    def test_run_fig4_square_topology_matches_across_jobs(self, capsys):
+        args = [
+            "run", "fig4", "--topology", "square",
+            "--seed", "7", "--batch", "100", "--no-cache",
+        ]
+        assert main([*args, "--jobs", "1"]) == 0
+        seq = capsys.readouterr().out
+        assert main([*args, "--jobs", "2"]) == 0
+        par = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("[engine]")
+        ]
+        assert strip(seq) == strip(par)
+
+    def test_run_square_differs_from_heavy_hex(self, capsys):
+        args = ["run", "fig4", "--seed", "7", "--batch", "100", "--jobs", "1"]
+        assert main(args) == 0
+        heavy = capsys.readouterr().out
+        assert main([*args, "--topology", "square"]) == 0
+        square = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("[engine]")
+        ]
+        assert strip(heavy) != strip(square)
+
+    def test_invalid_topology_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig4", "--topology", "kagome"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_topology_warning_for_unaware_experiment(self, capsys):
+        assert main(["run", "table1", "--topology", "square", "--jobs", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "heavy-hex only" in err
 
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 1

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from math import inf, log10
 
-import numpy as np
 import pytest
 
 from repro.simulation.esp import fidelity_product, fidelity_ratio

@@ -49,6 +49,8 @@ GOLDEN_PARAMS: dict[str, tuple[int, int | None]] = {
     "fig9": (2022, 200),
     "fig10": (2022, 200),
     "table2": (5, None),
+    "topoyield": (7, 120),
+    "topomcm": (7, 400),
 }
 
 #: Recursion cap for the structural summary (pathological cycles guard).

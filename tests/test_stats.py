@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.collisions import CollisionThresholds, collision_free_mask
+from repro.core.collisions import collision_free_mask
 from repro.core.fabrication import FabricationModel
 from repro.core.frequencies import allocate_heavy_hex_frequencies
 from repro.core.yield_model import (

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import networkx as nx
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.topology.heavy_hex import (
-    HeavyHexLattice,
     build_heavy_hex,
     bridge_columns,
     heavy_hex_by_qubit_count,

@@ -6,10 +6,9 @@ import numpy as np
 import pytest
 
 from repro.core.fabrication import FabricationModel
-from repro.core.frequencies import FrequencySpec, allocate_heavy_hex_frequencies
+from repro.core.frequencies import allocate_heavy_hex_frequencies
 from repro.core.yield_model import (
     YieldCurve,
-    YieldResult,
     detuning_sweep,
     simulate_yield,
     simulate_yield_with_devices,
