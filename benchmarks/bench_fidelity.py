@@ -1,0 +1,143 @@
+"""E-FID — link-scenario construction: vectorised vs. per-ratio loop.
+
+``core.fidelity.default_link_scenarios`` historically rescaled the base
+log-normal link model once per improvement ratio —
+``base.scaled_to_mean(ratio * on_chip_mean)`` in a Python loop, each call
+doing its own scalar ``log``.  The current implementation computes every
+rescaled location parameter in a single numpy pass and materialises the
+scenario objects from the result.
+
+This benchmark builds a large scenario sweep both ways, asserts the
+resulting models agree to within 1e-12 relative (``np.log`` and the
+scalar ``math.log`` can differ in the last ulp on some inputs — about
+1e-16 relative, seven orders of magnitude below the 1e-9 golden gate;
+at the paper's own ratios the two are bit-identical, which the fig9
+golden pins), and writes the measured speedup to
+``benchmarks/BENCH_fidelity.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.fidelity import LinkScenario, default_link_scenarios
+from repro.device.noise import (
+    LINK_MEAN_INFIDELITY,
+    LINK_MEDIAN_INFIDELITY,
+    LinkErrorModel,
+    ON_CHIP_MEAN_INFIDELITY,
+)
+
+RESULT_PATH = Path(__file__).parent / "BENCH_fidelity.json"
+
+#: Ratio grid large enough that construction cost is measurable; spans
+#: the paper's 1-3x window at fine resolution.
+NUM_RATIOS = 50_000
+
+
+def _reference_scenarios(on_chip_mean, ratios):
+    """The historical function, verbatim: one scaled_to_mean call per ratio."""
+    base = LinkErrorModel.from_mean_median(
+        mean=LINK_MEAN_INFIDELITY, median=LINK_MEDIAN_INFIDELITY
+    )
+    scenarios = [
+        LinkScenario(
+            name="state-of-art", ratio=base.mean / on_chip_mean, link_model=base
+        )
+    ]
+    for ratio in ratios:
+        scenarios.append(
+            LinkScenario(
+                name=f"elink={ratio:g}echip",
+                ratio=float(ratio),
+                link_model=base.scaled_to_mean(ratio * on_chip_mean),
+            )
+        )
+    return scenarios
+
+
+def test_vectorised_link_scenarios_match_loop_and_are_fast():
+    """Vectorised scenario construction is value-identical and faster."""
+    ratios = tuple(np.linspace(1.0, 3.0, NUM_RATIOS).tolist())
+
+    started = time.perf_counter()
+    reference = _reference_scenarios(ON_CHIP_MEAN_INFIDELITY, ratios)
+    loop_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    scenarios = default_link_scenarios(
+        on_chip_mean=ON_CHIP_MEAN_INFIDELITY, improvement_ratios=ratios
+    )
+    vector_seconds = time.perf_counter() - started
+
+    assert len(scenarios) == len(reference)
+    max_rel = 0.0
+    for scenario, ref in zip(scenarios, reference):
+        assert scenario.name == ref.name
+        assert scenario.ratio == ref.ratio
+        assert scenario.link_model.sigma == ref.link_model.sigma
+        assert scenario.link_model.max_infidelity == ref.link_model.max_infidelity
+        rel = abs(scenario.link_model.mu - ref.link_model.mu) / abs(ref.link_model.mu)
+        max_rel = max(max_rel, rel)
+    # ulp-level log differences only; far below the 1e-9 golden gate.
+    assert max_rel <= 1e-12
+
+    # The paper's own three ratios must stay bit-identical (fig9 golden).
+    for scenario, ref in zip(
+        default_link_scenarios(),
+        _reference_scenarios(ON_CHIP_MEAN_INFIDELITY, (3.0, 2.0, 1.0)),
+    ):
+        assert scenario.link_model.mu == ref.link_model.mu
+
+    # The numeric kernel alone: per-ratio scaled_to_mean calls vs. the
+    # single-numpy-pass location computation (scenario-object creation,
+    # which both paths share, excluded).
+    base = LinkErrorModel.from_mean_median(
+        mean=LINK_MEAN_INFIDELITY, median=LINK_MEDIAN_INFIDELITY
+    )
+    ratio_array = np.asarray(ratios, dtype=float)
+    started = time.perf_counter()
+    kernel_loop = [
+        base.scaled_to_mean(ratio * ON_CHIP_MEAN_INFIDELITY).mu for ratio in ratios
+    ]
+    kernel_loop_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    kernel_vector = base.mu + np.log(
+        ratio_array * ON_CHIP_MEAN_INFIDELITY / base.mean
+    )
+    kernel_vector_seconds = time.perf_counter() - started
+    assert np.allclose(kernel_vector, kernel_loop, rtol=1e-12, atol=0.0)
+    kernel_speedup = (
+        kernel_loop_seconds / kernel_vector_seconds
+        if kernel_vector_seconds > 0
+        else float("inf")
+    )
+    assert kernel_speedup > 1.0, "vectorised kernel failed to beat the loop"
+
+    speedup = loop_seconds / vector_seconds if vector_seconds > 0 else float("inf")
+    record = {
+        "benchmark": "link_scenario_construction",
+        "num_ratios": NUM_RATIOS,
+        "loop_seconds": round(loop_seconds, 4),
+        "vectorised_seconds": round(vector_seconds, 4),
+        "speedup": round(speedup, 3),
+        "kernel_loop_seconds": round(kernel_loop_seconds, 4),
+        "kernel_vectorised_seconds": round(kernel_vector_seconds, 5),
+        "kernel_speedup": round(kernel_speedup, 1),
+        "max_relative_mu_deviation": max_rel,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\n[fidelity] {NUM_RATIOS} scenarios: loop {loop_seconds:.3f}s, "
+        f"vectorised {vector_seconds:.3f}s -> speedup {speedup:.2f}x"
+    )
+    print(
+        f"[fidelity] numeric kernel: loop {kernel_loop_seconds:.3f}s, "
+        f"vectorised {kernel_vector_seconds:.5f}s -> "
+        f"speedup {kernel_speedup:.0f}x"
+    )
+    print(f"[fidelity] wrote {RESULT_PATH}")

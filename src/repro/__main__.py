@@ -15,11 +15,21 @@ Subcommands
     select the adaptive Monte-Carlo layer: ``--chunk-size C`` streams
     every yield point in O(C) memory, ``--ci-target H`` keeps sampling
     each point until its confidence-interval half-width is at most ``H``
-    (capped by ``--max-samples``, default: the batch size).
+    (capped by ``--max-samples``, default: the batch size).  The tuning
+    flags enable the post-fabrication repair stage on tuning-aware
+    experiments: ``--tuning STRATEGY`` selects the repair strategy
+    (``greedy`` or ``anneal``), ``--max-shift-mhz`` bounds the tuner's
+    reach and ``--repair-budget`` caps the accepted shifts per qubit
+    (``0`` is a strict no-op baseline).  ``--dump-json PATH`` writes the
+    experiment's full result — every numeric field, confidence
+    intervals included — to a machine-readable JSON file.
 ``list``
-    Show every registered experiment and every registered topology.
+    Show every registered experiment, topology and repair strategy.
 ``cache clear``
     Drop the on-disk result cache.
+
+Unknown experiment or topology names exit with status 2 and a
+did-you-mean suggestion from the corresponding registry.
 
 Examples
 --------
@@ -30,6 +40,9 @@ Examples
     python -m repro run fig4 --topology square --jobs 2
     python -m repro run topoyield --batch 500
     python -m repro run fig4 --ci-target 0.02 --chunk-size 250 --max-samples 4000
+    python -m repro run tunedyield --tuning greedy --max-shift-mhz 100
+    python -m repro run repairbudget --tuning anneal --jobs 4
+    python -m repro run fig4 --dump-json fig4.json
     python -m repro run fig8 --jobs 4 --batch 2000
     python -m repro cache clear
 """
@@ -37,13 +50,17 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis.registry import EXPERIMENTS
+from repro.analysis.reporting import jsonable
 from repro.core.architecture import ARCHITECTURES
-from repro.engine import ExecutionEngine, ResultCache
+from repro.engine import ExecutionEngine, ResultCache, did_you_mean
 from repro.stats import StatsOptions
+from repro.tuning import STRATEGIES, TuningOptions
 
 __all__ = ["main"]
 
@@ -83,9 +100,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--topology",
         "-t",
-        choices=ARCHITECTURES.names(),
         default=None,
-        help="registered device topology (default: heavy-hex)",
+        metavar="NAME",
+        help="registered device topology (default: heavy-hex; see `list`)",
     )
     run.add_argument(
         "--chunk-size",
@@ -107,6 +124,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="hard per-point sample cap for --ci-target runs "
         "(default: the batch size)",
+    )
+    run.add_argument(
+        "--tuning",
+        choices=sorted(STRATEGIES),
+        default=None,
+        help="enable post-fabrication frequency repair with this strategy",
+    )
+    run.add_argument(
+        "--max-shift-mhz",
+        type=float,
+        default=None,
+        help="tuner reach: largest intended per-qubit shift in MHz "
+        "(implies --tuning greedy when no strategy is given)",
+    )
+    run.add_argument(
+        "--repair-budget",
+        type=int,
+        default=None,
+        help="per-qubit tune-count budget (0 = strict no-op baseline; "
+        "implies --tuning greedy when no strategy is given)",
+    )
+    run.add_argument(
+        "--dump-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the experiment's result (CIs included) to a JSON file",
     )
     run.add_argument(
         "--full",
@@ -134,6 +178,11 @@ def _cmd_list() -> int:
     width = max((len(name) for name in ARCHITECTURES.names()), default=0)
     for arch in ARCHITECTURES.specs():
         print(f"  {arch.name:<{width}}  {arch.description}")
+    print("\nrepair strategies (for --tuning):")
+    width = max((len(name) for name in STRATEGIES), default=0)
+    for name in sorted(STRATEGIES):
+        doc = (STRATEGIES[name].__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<{width}}  {doc}")
     return 0
 
 
@@ -153,6 +202,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = EXPERIMENTS.get(args.experiment)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
+        return 2
+
+    if args.topology is not None and args.topology not in ARCHITECTURES:
+        known = ", ".join(sorted(ARCHITECTURES.names()))
+        suggestion = did_you_mean(args.topology, ARCHITECTURES.names())
+        print(
+            f"unknown topology {args.topology!r}{suggestion} (known: {known})",
+            file=sys.stderr,
+        )
         return 2
 
     stats = None
@@ -185,6 +243,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    tuning = None
+    tuning_requested = (
+        args.tuning is not None
+        or args.max_shift_mhz is not None
+        or args.repair_budget is not None
+    )
+    if tuning_requested:
+        try:
+            tuning = TuningOptions.build(
+                strategy=args.tuning if args.tuning is not None else "greedy",
+                max_shift_ghz=(
+                    args.max_shift_mhz / 1000.0
+                    if args.max_shift_mhz is not None
+                    else None
+                ),
+                max_tunes_per_qubit=args.repair_budget,
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"invalid tuning options: {exc}", file=sys.stderr)
+            return 2
+        if not spec.tuning_aware:
+            print(
+                f"warning: experiment {spec.name!r} does not use the "
+                "post-fabrication repair stage; --tuning/--max-shift-mhz/"
+                "--repair-budget have no effect on it",
+                file=sys.stderr,
+            )
+
     engine = ExecutionEngine(jobs=args.jobs, use_cache=not args.no_cache)
     started = time.perf_counter()
     result, text = spec.runner(
@@ -194,12 +280,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         full=args.full,
         stats=stats,
         topology=args.topology,
+        tuning=tuning,
     )
     elapsed = time.perf_counter() - started
 
     if not args.quiet:
         print(f"[{spec.name}] {spec.description}")
         print(text)
+    if args.dump_json is not None:
+        payload = {
+            "experiment": spec.name,
+            "description": spec.description,
+            "seed": args.seed,
+            "batch_size": args.batch,
+            "topology": args.topology,
+            "tuning": jsonable(tuning),
+            "elapsed_seconds": elapsed,
+            "result": jsonable(result),
+            "text": text,
+        }
+        args.dump_json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[dump] result written to {args.dump_json}")
     print(f"\n[engine] {engine.stats.summary()}")
     print(f"[engine] experiment wall-clock: {elapsed:.2f}s")
     return 0

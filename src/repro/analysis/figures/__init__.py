@@ -18,6 +18,7 @@ Module                      Experiment
 ``fig9_heatmaps``           Fig. 9 average-infidelity heat-maps
 ``fig10_apps``              Fig. 10 application-level fidelity ratios
 ``topologies``              cross-topology yield / MCM comparisons
+``tuning``                  as-fab vs. repaired yield, repair-budget sweep
 ==========================  =============================================
 
 The CLI-facing experiment registry lives in ``repro.analysis.registry``.
@@ -43,6 +44,12 @@ from repro.analysis.figures.tables import (
     run_table1_collision_criteria,
     run_table2_compiled_benchmarks,
 )
+from repro.analysis.figures.tuning import (
+    RepairBudgetResult,
+    TunedYieldResult,
+    run_repair_budget_sweep,
+    run_tuned_yield_comparison,
+)
 
 __all__ = [
     "Fig3Result",
@@ -55,6 +62,8 @@ __all__ = [
     "Table2Result",
     "TopologyMCMResult",
     "TopologyYieldResult",
+    "RepairBudgetResult",
+    "TunedYieldResult",
     "run_fig3_processor_trends",
     "run_fig4_yield_sweep",
     "run_fig6_configurations",
@@ -67,4 +76,6 @@ __all__ = [
     "run_table2_compiled_benchmarks",
     "run_topology_mcm_comparison",
     "run_topology_yield_comparison",
+    "run_repair_budget_sweep",
+    "run_tuned_yield_comparison",
 ]

@@ -20,6 +20,7 @@ from repro.core.fabrication import (
 )
 from repro.core.yield_model import YieldResult, detuning_sweep
 from repro.stats import StatsOptions
+from repro.tuning import TuningOptions
 
 __all__ = ["Fig4Result", "run_fig4_yield_sweep"]
 
@@ -82,6 +83,7 @@ def run_fig4_yield_sweep(
     engine=None,
     stats: StatsOptions | None = None,
     topology: str | None = None,
+    tuning: TuningOptions | None = None,
 ) -> Fig4Result:
     """Regenerate the Fig. 4 grid of yield-vs-qubits curves.
 
@@ -98,6 +100,9 @@ def run_fig4_yield_sweep(
         Registered topology name; the heavy-hex default reproduces the
         paper's grid, ``"square"``/``"ring"`` regenerate it for the
         denser/sparser scenarios.
+    tuning:
+        Optional post-fabrication repair options; the grid's yields then
+        include tuner-recovered dies.
     """
     curves = detuning_sweep(
         steps_ghz=steps_ghz,
@@ -108,6 +113,7 @@ def run_fig4_yield_sweep(
         executor=engine,
         stats=stats,
         topology=topology,
+        tuning=tuning,
     )
     result = Fig4Result(sizes=sizes)
     for key, curve in curves.items():

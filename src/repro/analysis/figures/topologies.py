@@ -45,12 +45,14 @@ from repro.core.yield_model import (
     YieldResult,
     _stats_point_kwargs,
     _topology_kwargs,
+    _tuning_kwargs,
     simulate_yield_point,
 )
 from repro.device.calibration import washington_cx_model
 from repro.engine.dispatch import run_calls
 from repro.engine.seeding import spawn_seeds
 from repro.stats import StatsOptions
+from repro.tuning import TuningOptions
 
 __all__ = [
     "TopologyYieldResult",
@@ -133,6 +135,7 @@ def run_topology_yield_comparison(
     seed: int = 7,
     engine=None,
     stats: StatsOptions | None = None,
+    tuning: TuningOptions | None = None,
 ) -> TopologyYieldResult:
     """Collision-free yield vs. size for every registered topology.
 
@@ -152,6 +155,7 @@ def run_topology_yield_comparison(
     )
     result = TopologyYieldResult(sizes=sizes, sigma_ghz=sigma_ghz, step_ghz=step_ghz)
     stats_kwargs = _stats_point_kwargs(stats)
+    tuning_kwargs = _tuning_kwargs(tuning)
 
     kwargs_list = []
     for topology in names:
@@ -170,6 +174,7 @@ def run_topology_yield_comparison(
                     lattice=lattices[size],
                     **stats_kwargs,
                     **_topology_kwargs(topology),
+                    **tuning_kwargs,
                 )
             )
     points = run_calls(simulate_yield_point, kwargs_list, engine, "yield.point")

@@ -4,7 +4,7 @@ Each figure/table driver is registered under its paper name with a
 uniform runner signature::
 
     runner(engine, seed=None, batch_size=None, full=False, stats=None,
-           topology=None) -> (result, text)
+           topology=None, tuning=None) -> (result, text)
 
 ``engine`` is an :class:`repro.engine.ExecutionEngine` (or ``None`` for
 plain in-process execution), ``seed`` overrides the experiment's default
@@ -12,10 +12,14 @@ master seed, ``batch_size`` scales the Monte-Carlo batches, ``full``
 requests the paper-sized configuration sweep where one exists,
 ``stats`` is an optional :class:`repro.stats.StatsOptions` (the CLI's
 ``--chunk-size`` / ``--ci-target`` / ``--max-samples``) threaded into
-the yield Monte-Carlo where the experiment has one, and ``topology``
+the yield Monte-Carlo where the experiment has one, ``topology``
 selects a registered architecture (the CLI's ``--topology``) on the
-experiments marked ``topology_aware``.  ``text`` is the human-readable
-rendering the CLI prints.
+experiments marked ``topology_aware``, and ``tuning`` is an optional
+:class:`repro.tuning.TuningOptions` (the CLI's ``--tuning`` /
+``--max-shift-mhz`` / ``--repair-budget``) routing the yield
+Monte-Carlo through the post-fabrication repair stage on experiments
+marked ``tuning_aware``.  ``text`` is the human-readable rendering the
+CLI prints.
 """
 
 from __future__ import annotations
@@ -24,8 +28,10 @@ from typing import Any
 
 from repro.analysis.figures import (
     run_fig3_processor_trends,
+    run_repair_budget_sweep,
     run_topology_mcm_comparison,
     run_topology_yield_comparison,
+    run_tuned_yield_comparison,
     run_fig4_yield_sweep,
     run_fig6_configurations,
     run_fig7_detuning_model,
@@ -70,23 +76,24 @@ def build_study(
     return ArchitectureStudy(config, engine=engine)
 
 
-def _fig3(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _fig3(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     result = run_fig3_processor_trends(seed=seed if seed is not None else 11)
     return result, result.format_table()
 
 
-def _table1(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _table1(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     result = run_table1_collision_criteria()
     return result, result.format_table()
 
 
-def _fig4(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _fig4(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     result = run_fig4_yield_sweep(
         batch_size=batch_size or 1000,
         seed=seed if seed is not None else 7,
         engine=engine,
         stats=stats,
         topology=topology,
+        tuning=tuning,
     )
     if stats is not None and not stats.is_default:
         text = (
@@ -97,7 +104,7 @@ def _fig4(engine, seed=None, batch_size=None, full=False, stats=None, topology=N
     return result, result.format_table()
 
 
-def _fig6(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _fig6(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     points = run_fig6_configurations(
         batch_size=batch_size or 100_000,
         seed=seed if seed is not None else 7,
@@ -113,7 +120,7 @@ def _fig6(engine, seed=None, batch_size=None, full=False, stats=None, topology=N
     return points, text
 
 
-def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     result = run_sec5c_fabrication_output(
         batch_size=batch_size or 1000,
         seed=seed if seed is not None else 7,
@@ -132,7 +139,7 @@ def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None, topology=
     return result, text
 
 
-def _fig7(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _fig7(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     result = run_fig7_detuning_model(seed=seed if seed is not None else 11)
     summary = (
         f"median {result.median:.4f}, mean {result.mean:.4f} "
@@ -141,13 +148,13 @@ def _fig7(engine, seed=None, batch_size=None, full=False, stats=None, topology=N
     return result, summary + result.format_table()
 
 
-def _fig8(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _fig8(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig8_yield_comparison(study)
     return result, result.format_table()
 
 
-def _fig9(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _fig9(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig9_infidelity_heatmap(study)
     sections = []
@@ -157,7 +164,7 @@ def _fig9(engine, seed=None, batch_size=None, full=False, stats=None, topology=N
     return result, "\n".join(sections)
 
 
-def _fig10(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _fig10(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig10_applications(
         study, square_only=not full, seed=seed if seed is not None else 5
@@ -166,7 +173,8 @@ def _fig10(engine, seed=None, batch_size=None, full=False, stats=None, topology=
 
 
 def _topoyield(
-    engine, seed=None, batch_size=None, full=False, stats=None, topology=None
+    engine, seed=None, batch_size=None, full=False, stats=None, topology=None,
+    tuning=None,
 ) -> tuple[Any, str]:
     topologies = (topology,) if topology else None
     result = run_topology_yield_comparison(
@@ -175,12 +183,14 @@ def _topoyield(
         seed=seed if seed is not None else 7,
         engine=engine,
         stats=stats,
+        tuning=tuning,
     )
     return result, result.format_table()
 
 
 def _topomcm(
-    engine, seed=None, batch_size=None, full=False, stats=None, topology=None
+    engine, seed=None, batch_size=None, full=False, stats=None, topology=None,
+    tuning=None,
 ) -> tuple[Any, str]:
     topologies = (topology,) if topology else None
     result = run_topology_mcm_comparison(
@@ -192,7 +202,37 @@ def _topomcm(
     return result, result.format_table()
 
 
-def _table2(engine, seed=None, batch_size=None, full=False, stats=None, topology=None) -> tuple[Any, str]:
+def _tunedyield(
+    engine, seed=None, batch_size=None, full=False, stats=None, topology=None,
+    tuning=None,
+) -> tuple[Any, str]:
+    topologies = (topology,) if topology else None
+    result = run_tuned_yield_comparison(
+        topologies=topologies,
+        batch_size=batch_size or 400,
+        seed=seed if seed is not None else 7,
+        engine=engine,
+        stats=stats,
+        tuning=tuning,
+    )
+    return result, result.format_table()
+
+
+def _repairbudget(
+    engine, seed=None, batch_size=None, full=False, stats=None, topology=None,
+    tuning=None,
+) -> tuple[Any, str]:
+    result = run_repair_budget_sweep(
+        topology=topology,
+        batch_size=batch_size or 400,
+        seed=seed if seed is not None else 7,
+        engine=engine,
+        tuning=tuning,
+    )
+    return result, result.format_table()
+
+
+def _table2(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
     sizes = (10, 20, 40, 60, 90) if full else (10, 20, 40)
     result = run_table2_compiled_benchmarks(
         chiplet_sizes=sizes,
@@ -215,6 +255,7 @@ EXPERIMENTS.register(
     aliases=("yield",),
     stats_aware=True,
     topology_aware=True,
+    tuning_aware=True,
 )
 EXPERIMENTS.register(
     "fig6", "Fig. 6: configuration counting and assembled-MCM bound", _fig6
@@ -250,10 +291,28 @@ EXPERIMENTS.register(
     aliases=("topologies",),
     stats_aware=True,
     topology_aware=True,
+    tuning_aware=True,
 )
 EXPERIMENTS.register(
     "topomcm",
     "Cross-topology chiplet -> MCM assembly comparison",
     _topomcm,
     topology_aware=True,
+)
+EXPERIMENTS.register(
+    "tunedyield",
+    "As-fab vs. post-fabrication-repaired yield curves per topology",
+    _tunedyield,
+    aliases=("repair",),
+    stats_aware=True,
+    topology_aware=True,
+    tuning_aware=True,
+)
+EXPERIMENTS.register(
+    "repairbudget",
+    "Repaired yield vs. tuner max-shift and per-qubit budget sweep",
+    _repairbudget,
+    aliases=("budget",),
+    topology_aware=True,
+    tuning_aware=True,
 )

@@ -1,15 +1,61 @@
-"""Plain-text table rendering for experiment results.
+"""Plain-text table rendering and JSON export for experiment results.
 
 The reproduction does not depend on any plotting library; every "figure"
 benchmark prints the series the original figure plots, and these helpers
-keep that output aligned and readable.
+keep that output aligned and readable.  :func:`jsonable` is the
+machine-readable counterpart: it flattens any experiment's result object
+(dataclasses, numpy arrays, nested containers) into plain JSON types for
+the CLI's ``--dump-json``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import dataclasses
+from typing import Any, Iterable, Sequence
 
-__all__ = ["format_table", "format_series"]
+import numpy as np
+
+__all__ = ["format_table", "format_series", "jsonable"]
+
+#: Recursion cap for :func:`jsonable` (guards pathological cycles).
+_MAX_DEPTH = 16
+
+
+def jsonable(value: Any, depth: int = 0) -> Any:
+    """Flatten an arbitrary result object into JSON-serialisable types.
+
+    Dataclasses recurse over their comparable fields, numpy arrays
+    become nested lists, mappings stringify non-string keys, and
+    anything unrecognised collapses to ``repr``.  Every number an
+    experiment produces — including the confidence-interval bounds
+    carried by :class:`repro.core.yield_model.YieldResult` fields —
+    survives the conversion.
+    """
+    if depth > _MAX_DEPTH:
+        return f"<depth-capped:{type(value).__name__}>"
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonable(v, depth + 1) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name), depth + 1)
+            for f in dataclasses.fields(value)
+            if f.compare
+        }
+    if isinstance(value, dict):
+        return {
+            (k if isinstance(k, str) else repr(k)): jsonable(v, depth + 1)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [jsonable(v, depth + 1) for v in items]
+    return repr(value)
 
 
 def format_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

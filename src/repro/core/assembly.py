@@ -5,7 +5,11 @@ The assembly pipeline is:
 1. *Fabricate* a batch of chiplets (Monte-Carlo frequency sampling), keep
    only the collision-free ones, and characterise each survivor's two-qubit
    gate errors from the empirical detuning-binned model — this is the
-   known-good-die (KGD) step.
+   known-good-die (KGD) step.  When a :class:`repro.tuning.TuningOptions`
+   is supplied, collided dies pass through the post-fabrication repair
+   stage first, and the dies the tuner recovers join the bin flagged as
+   ``repaired`` (counted separately all the way to
+   :class:`repro.core.output_model.FabricationOutput`).
 2. *Sort* the collision-free bin by average error so the best chiplets are
    consumed first ("speed binning").
 3. *Stitch* chiplets into MCMs greedily: take the next ``k*m`` chiplets,
@@ -32,6 +36,7 @@ from repro.core.fabrication import FabricationModel
 from repro.core.mcm import MCMDesign
 from repro.device.device import Device
 from repro.device.noise import EmpiricalCXModel, LinkErrorModel
+from repro.tuning import TuningOptions, repair_batch
 
 __all__ = [
     "FabricatedChiplet",
@@ -68,10 +73,19 @@ class FabricatedChiplet:
     edge_errors:
         KGD-characterised two-qubit infidelity per on-chip coupling
         (local qubit indices).
+    repaired:
+        True when the die is collision-free only because the
+        post-fabrication tuner repaired it (``compare=False`` so the
+        flag stays out of golden summaries and cache identities).
+    tuned_qubits:
+        Local indices of the qubits the tuner shifted on this die
+        (empty for as-fabricated survivors).
     """
 
     frequencies_ghz: np.ndarray
     edge_errors: dict[tuple[int, int], float]
+    repaired: bool = field(default=False, compare=False)
+    tuned_qubits: tuple[int, ...] = field(default=(), compare=False)
 
     @property
     def average_error(self) -> float:
@@ -91,11 +105,16 @@ class ChipletBin:
         Collision-free dies sorted by ascending average error.
     batch_size:
         Size of the original fabrication batch.
+    num_repaired:
+        Dies in the bin that exist only thanks to post-fabrication
+        repair (0 for untuned bins; ``compare=False`` keeps it out of
+        golden summaries and cache identities).
     """
 
     design: ChipletDesign
     chiplets: list[FabricatedChiplet]
     batch_size: int
+    num_repaired: int = field(default=0, compare=False)
 
     @property
     def num_collision_free(self) -> int:
@@ -104,8 +123,13 @@ class ChipletBin:
 
     @property
     def collision_free_yield(self) -> float:
-        """Fraction of the batch that is collision-free."""
+        """Fraction of the batch that is collision-free (repaired included)."""
         return self.num_collision_free / self.batch_size
+
+    @property
+    def as_fab_yield(self) -> float:
+        """Fraction of the batch collision-free without any repair."""
+        return (self.num_collision_free - self.num_repaired) / self.batch_size
 
 
 @dataclass
@@ -120,11 +144,21 @@ class AssembledMCM:
         Assembled per-qubit frequencies (global MCM indices).
     edge_errors:
         Two-qubit infidelity for every coupling, including links.
+    num_repaired_chiplets:
+        How many of the module's chiplets were post-fabrication repairs
+        (0 for untuned pipelines; ``compare=False``, see
+        :class:`FabricatedChiplet`).
+    tuned_qubits:
+        Global MCM indices of the qubits the tuner shifted across the
+        module's chiplets (exported into ``Device`` metadata, where
+        ``Device.qubit(i).tuned`` picks it up).
     """
 
     design: MCMDesign
     frequencies_ghz: np.ndarray
     edge_errors: dict[tuple[int, int], float]
+    num_repaired_chiplets: int = field(default=0, compare=False)
+    tuned_qubits: tuple[int, ...] = field(default=(), compare=False)
 
     @property
     def average_error(self) -> float:
@@ -143,6 +177,8 @@ class AssembledMCM:
                 "chiplet_size": self.design.chiplet.num_qubits,
                 "grid": (self.design.grid_rows, self.design.grid_cols),
                 "num_links": self.design.num_links,
+                "repaired_chiplets": self.num_repaired_chiplets,
+                "tuned_qubits": self.tuned_qubits,
             },
         )
 
@@ -156,6 +192,7 @@ class AssemblyResult:
     chiplets_used: int = 0
     chiplets_set_aside: int = 0
     reshuffles: int = 0
+    repaired_chiplets_used: int = field(default=0, compare=False)
 
     @property
     def num_mcms(self) -> int:
@@ -170,11 +207,36 @@ def fabricate_chiplet_bin(
     batch_size: int,
     rng: np.random.Generator,
     thresholds: CollisionThresholds | None = None,
+    tuning: TuningOptions | None = None,
 ) -> ChipletBin:
-    """Fabricate, screen and KGD-characterise a batch of chiplets."""
+    """Fabricate, screen, (optionally) repair and KGD-characterise a batch.
+
+    With ``tuning`` set, dies that fail collision screening are handed to
+    the post-fabrication repair stage (continuing ``rng``); recovered
+    dies join the bin after the as-fabricated survivors, flagged
+    ``repaired``, before the whole bin is speed-sorted by average error.
+    The untuned path consumes exactly the historical random stream.
+    """
     frequencies = fabrication.sample_batch(design.allocation, batch_size, rng)
     mask = collision_free_mask(design.allocation, frequencies, thresholds)
-    survivors = frequencies[mask]
+    num_repaired = 0
+    if tuning is not None and not mask.all():
+        outcome = repair_batch(design.allocation, frequencies, tuning, rng, thresholds)
+        num_repaired = outcome.num_repaired
+        survivors = np.concatenate(
+            [frequencies[mask], outcome.frequencies[outcome.repaired_mask]], axis=0
+        )
+        repaired_flags = np.concatenate(
+            [np.zeros(int(mask.sum()), dtype=bool), np.ones(num_repaired, dtype=bool)]
+        )
+        tuned_lists = [()] * int(mask.sum()) + [
+            outcome.tuned_qubit_indices.get(int(index), ())
+            for index in np.flatnonzero(outcome.repaired_mask)
+        ]
+    else:
+        survivors = frequencies[mask]
+        repaired_flags = np.zeros(survivors.shape[0], dtype=bool)
+        tuned_lists = [()] * survivors.shape[0]
 
     edges = design.edges()
     chiplets: list[FabricatedChiplet] = []
@@ -193,11 +255,20 @@ def fabricate_chiplet_bin(
             FabricatedChiplet(
                 frequencies_ghz=frequencies.copy(),
                 edge_errors=dict(zip(edges, row)),
+                repaired=bool(flag),
+                tuned_qubits=tuple(tuned),
             )
-            for frequencies, row in zip(survivors, error_rows)
+            for frequencies, row, flag, tuned in zip(
+                survivors, error_rows, repaired_flags, tuned_lists
+            )
         ]
     chiplets.sort(key=lambda c: c.average_error)
-    return ChipletBin(design=design, chiplets=chiplets, batch_size=batch_size)
+    return ChipletBin(
+        design=design,
+        chiplets=chiplets,
+        batch_size=batch_size,
+        num_repaired=num_repaired,
+    )
 
 
 def _try_placements(
@@ -309,21 +380,27 @@ def assemble_mcms(
         ordered = [subset[i] for i in placement]
         frequencies = design.assemble_frequencies([c.frequencies_ghz for c in ordered])
         edge_errors: dict[tuple[int, int], float] = {}
+        tuned_qubits: list[int] = []
         for chip_index, chiplet in enumerate(ordered):
             offset = chip_index * qc
             for (u, v), error in chiplet.edge_errors.items():
                 edge_errors[(u + offset, v + offset)] = error
+            tuned_qubits.extend(q + offset for q in chiplet.tuned_qubits)
         for link in design.links:
             edge_errors[link.edge] = float(link_model.sample(rng))
 
+        repaired_chiplets = sum(1 for c in ordered if c.repaired)
         result.mcms.append(
             AssembledMCM(
                 design=design,
                 frequencies_ghz=frequencies,
                 edge_errors=edge_errors,
+                num_repaired_chiplets=repaired_chiplets,
+                tuned_qubits=tuple(tuned_qubits),
             )
         )
         result.chiplets_used += num_chips
+        result.repaired_chiplets_used += repaired_chiplets
         pool = pool[num_chips:]
 
     return result

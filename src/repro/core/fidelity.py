@@ -74,13 +74,26 @@ def default_link_scenarios(
             link_model=base,
         )
     ]
-    for ratio in improvement_ratios:
-        scenarios.append(
+    ratios = np.asarray(improvement_ratios, dtype=float)
+    if ratios.size:
+        target_means = ratios * on_chip_mean
+        if np.any(target_means <= 0):
+            raise ValueError("target_mean must be positive")
+        # All rescaled log-normal locations in one vectorised pass; each
+        # scaled model keeps the base sigma, so only mu shifts (this is
+        # `LinkErrorModel.scaled_to_mean` applied to every ratio at once
+        # — see benchmarks/bench_fidelity.py for the measured speedup and
+        # the value-identity check against the per-ratio loop).
+        mus = base.mu + np.log(target_means / base.mean)
+        scenarios.extend(
             LinkScenario(
                 name=f"elink={ratio:g}echip",
-                ratio=float(ratio),
-                link_model=base.scaled_to_mean(ratio * on_chip_mean),
+                ratio=ratio,
+                link_model=LinkErrorModel(
+                    mu=mu, sigma=base.sigma, max_infidelity=base.max_infidelity
+                ),
             )
+            for ratio, mu in zip(ratios.tolist(), mus.tolist())
         )
     return scenarios
 

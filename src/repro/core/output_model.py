@@ -15,7 +15,7 @@ gives an output gain of roughly 7.7x.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # circular at runtime: yield_model imports nothing from here
@@ -44,6 +44,14 @@ class FabricationOutput:
         Optional ``(low, high)`` binomial confidence intervals on the two
         input yields (present when the yields came from Monte-Carlo
         :class:`~repro.core.yield_model.YieldResult` objects).
+    monolithic_repaired_yield, chiplet_repaired_yield:
+        Optional fraction of each batch that is collision-free *only*
+        thanks to post-fabrication repair (set when the input yields
+        came through a tuned pipeline;  ``compare=False`` keeps the
+        untuned comparison's golden summaries and cache identities
+        unchanged).  Both input yields already *include* the repaired
+        dies; these fields break out how much of them repair
+        contributed.
     gain:
         ``mcm_devices / monolithic_devices`` (``inf`` when the monolithic
         yield is zero).
@@ -60,6 +68,29 @@ class FabricationOutput:
     mcm_devices: float
     monolithic_yield_ci: tuple[float, float] | None = None
     chiplet_yield_ci: tuple[float, float] | None = None
+    monolithic_repaired_yield: float | None = field(default=None, compare=False)
+    chiplet_repaired_yield: float | None = field(default=None, compare=False)
+
+    @property
+    def monolithic_repaired_devices(self) -> float | None:
+        """Monolithic devices that exist only thanks to repair."""
+        if self.monolithic_repaired_yield is None:
+            return None
+        return self.monolithic_repaired_yield * self.batch_size
+
+    @property
+    def mcm_repaired_devices(self) -> float | None:
+        """Eq. 1 MCM count attributable to repaired chiplets."""
+        if self.chiplet_repaired_yield is None:
+            return None
+        return mcm_output_upper_bound(
+            self.chiplet_repaired_yield,
+            self.batch_size,
+            self.monolithic_qubits,
+            self.chiplet_qubits,
+            self.grid_rows,
+            self.grid_cols,
+        )
 
     @property
     def gain(self) -> float:
@@ -145,6 +176,8 @@ def compare_fabrication_output(
     grid_cols: int,
     monolithic_yield_ci: tuple[float, float] | None = None,
     chiplet_yield_ci: tuple[float, float] | None = None,
+    monolithic_repaired_yield: float | None = None,
+    chiplet_repaired_yield: float | None = None,
 ) -> FabricationOutput:
     """Full Section V-C comparison for one (monolith, chiplet, MCM) triple."""
     if grid_rows * grid_cols * chiplet_qubits != monolithic_qubits:
@@ -170,7 +203,21 @@ def compare_fabrication_output(
         ),
         monolithic_yield_ci=monolithic_yield_ci,
         chiplet_yield_ci=chiplet_yield_ci,
+        monolithic_repaired_yield=monolithic_repaired_yield,
+        chiplet_repaired_yield=chiplet_repaired_yield,
     )
+
+
+def _repaired_fraction(result: "YieldResult") -> float | None:
+    """Repaired fraction of a result's batch (``None`` for untuned results).
+
+    Duck-typed on the ``num_repaired`` attribute so this module keeps
+    its no-runtime-import relationship with the yield model.
+    """
+    num_repaired = getattr(result, "num_repaired", None)
+    if num_repaired is None:
+        return None
+    return num_repaired / result.samples_used
 
 
 def fabrication_output_from_results(
@@ -187,7 +234,9 @@ def fabrication_output_from_results(
     error bars.  ``batch_size`` defaults to the monolithic result's
     sample count (for adaptive runs the two results may have used
     different sample counts; the wafer budget ``B`` of Eq. 1 is a free
-    parameter, not tied to either).
+    parameter, not tied to either).  Results produced by a tuned
+    pipeline (:class:`~repro.core.yield_model.RepairedYieldResult`)
+    additionally populate the repaired-die breakout fields.
     """
     return compare_fabrication_output(
         monolithic_yield=monolithic_result.estimate,
@@ -199,4 +248,6 @@ def fabrication_output_from_results(
         grid_cols=grid_cols,
         monolithic_yield_ci=(monolithic_result.ci_low, monolithic_result.ci_high),
         chiplet_yield_ci=(chiplet_result.ci_low, chiplet_result.ci_high),
+        monolithic_repaired_yield=_repaired_fraction(monolithic_result),
+        chiplet_repaired_yield=_repaired_fraction(chiplet_result),
     )

@@ -35,6 +35,17 @@ point, the chunked estimators derive per-chunk seeds the same way (see
 :mod:`repro.stats.streaming`), so a streamed, adaptive, or
 chunk-parallel run observes literally the same samples as materialising
 the whole batch at once.
+
+Every entry point also accepts a :class:`repro.tuning.TuningOptions`:
+when set, collided devices are handed to the post-fabrication repair
+subsystem (:mod:`repro.tuning`) before yield is counted, and the result
+is a :class:`RepairedYieldResult` that reports the as-fabricated and
+repaired populations separately.  Repair randomness continues each
+chunk's own generator after fabrication sampling, so the tuned pipeline
+inherits the full parallel==sequential determinism contract; when the
+option is unset the kwargs of every submitted point are byte-identical
+to the untuned pipeline (see :func:`_tuning_kwargs`), keeping historical
+engine cache keys and goldens untouched.
 """
 
 from __future__ import annotations
@@ -65,9 +76,11 @@ from repro.stats import (
     chunk_seed,
 )
 from repro.topology.base import Lattice
+from repro.tuning import TuningOptions, repair_batch
 
 __all__ = [
     "YieldResult",
+    "RepairedYieldResult",
     "YieldCurve",
     "simulate_yield",
     "simulate_yield_point",
@@ -167,6 +180,48 @@ class YieldResult:
         return (self.ci_high - self.ci_low) / 2.0
 
 
+@dataclass(frozen=True)
+class RepairedYieldResult(YieldResult):
+    """A yield point evaluated through the post-fabrication repair stage.
+
+    ``num_collision_free`` (and therefore ``collision_free_yield``)
+    counts every good die — as-fabricated survivors *plus* the dies the
+    tuner recovered — while the extra fields keep the repaired
+    population separately accountable.  Only tuned pipelines produce
+    this type, so untuned results (and their goldens) are structurally
+    unchanged.
+
+    Attributes
+    ----------
+    num_repaired:
+        Dies that are collision-free only thanks to repair.
+    tuned_qubits:
+        Qubits that received at least one accepted shift, summed over
+        the batch.
+    total_tunes:
+        Accepted tuning shots summed over the batch.
+    """
+
+    num_repaired: int = 0
+    tuned_qubits: int = 0
+    total_tunes: int = 0
+
+    @property
+    def num_as_fab_free(self) -> int:
+        """Dies that were collision-free straight out of fabrication."""
+        return self.num_collision_free - self.num_repaired
+
+    @property
+    def as_fab_yield(self) -> float:
+        """Collision-free yield before any repair."""
+        return self.num_as_fab_free / self.batch_size
+
+    @property
+    def repaired_yield(self) -> float:
+        """Collision-free yield after repair (alias of the estimate)."""
+        return self.collision_free_yield
+
+
 @dataclass
 class YieldCurve:
     """Collision-free yield as a function of device size.
@@ -225,6 +280,7 @@ def simulate_yield(
     thresholds: CollisionThresholds | None = None,
     confidence: float = DEFAULT_CONFIDENCE,
     ci_method: str = "wilson",
+    tuning: TuningOptions | None = None,
 ) -> YieldResult:
     """Monte-Carlo collision-free yield for one topology.
 
@@ -242,9 +298,27 @@ def simulate_yield(
         Collision windows; defaults to the Table I values.
     confidence, ci_method:
         Parameters of the confidence interval attached to the result.
+    tuning:
+        Optional post-fabrication repair stage; collided devices are
+        repaired (continuing ``rng``) before yield is counted, and the
+        result is a :class:`RepairedYieldResult`.
     """
     rng = rng or np.random.default_rng()
     frequencies = fabrication.sample_batch(allocation, batch_size, rng)
+    if tuning is not None:
+        outcome = repair_batch(allocation, frequencies, tuning, rng, thresholds)
+        return RepairedYieldResult(
+            num_qubits=allocation.num_qubits,
+            sigma_ghz=fabrication.sigma_ghz,
+            step_ghz=allocation.spec.step_ghz,
+            batch_size=batch_size,
+            num_collision_free=outcome.num_free,
+            confidence=confidence,
+            ci_method=ci_method,
+            num_repaired=outcome.num_repaired,
+            tuned_qubits=outcome.tuned_qubits,
+            total_tunes=outcome.total_tunes,
+        )
     mask = collision_free_mask(allocation, frequencies, thresholds)
     return YieldResult(
         num_qubits=allocation.num_qubits,
@@ -302,6 +376,76 @@ def _chunk_frequencies(
     return fabrication.sample_batch(allocation, length, rng)
 
 
+def _chunk_counts(
+    allocation: FrequencyAllocation,
+    fabrication: FabricationModel,
+    length: int,
+    seed: int | None,
+    chunk_index: int,
+    thresholds: CollisionThresholds | None,
+    tuning: TuningOptions | None,
+) -> tuple[int, int, int, int, int]:
+    """Fabricate, (optionally) repair and reduce one spawn-seeded chunk.
+
+    Returns ``(num_free, length, num_repaired, tuned_qubits,
+    total_tunes)``.  The repair stage continues the chunk's own
+    generator after fabrication sampling, so the fabricated frequencies
+    are bit-identical to the untuned chunk and the repair shots are a
+    pure function of the chunk seed — whichever process runs the chunk.
+    """
+    rng = np.random.default_rng(chunk_seed(seed, chunk_index))
+    frequencies = fabrication.sample_batch(allocation, length, rng)
+    if tuning is None:
+        mask = collision_free_mask(allocation, frequencies, thresholds)
+        return int(mask.sum()), length, 0, 0, 0
+    outcome = repair_batch(allocation, frequencies, tuning, rng, thresholds)
+    return (
+        outcome.num_free,
+        length,
+        outcome.num_repaired,
+        outcome.tuned_qubits,
+        outcome.total_tunes,
+    )
+
+
+def _build_result(
+    num_qubits: int,
+    sigma_ghz: float,
+    step_ghz: float,
+    batch_size: int,
+    num_collision_free: int,
+    confidence: float,
+    ci_method: str,
+    tuning: TuningOptions | None,
+    num_repaired: int,
+    tuned_qubits: int,
+    total_tunes: int,
+) -> YieldResult:
+    """A :class:`YieldResult`, upgraded to repaired form for tuned runs."""
+    if tuning is None:
+        return YieldResult(
+            num_qubits=num_qubits,
+            sigma_ghz=sigma_ghz,
+            step_ghz=step_ghz,
+            batch_size=batch_size,
+            num_collision_free=num_collision_free,
+            confidence=confidence,
+            ci_method=ci_method,
+        )
+    return RepairedYieldResult(
+        num_qubits=num_qubits,
+        sigma_ghz=sigma_ghz,
+        step_ghz=step_ghz,
+        batch_size=batch_size,
+        num_collision_free=num_collision_free,
+        confidence=confidence,
+        ci_method=ci_method,
+        num_repaired=num_repaired,
+        tuned_qubits=tuned_qubits,
+        total_tunes=total_tunes,
+    )
+
+
 def materialize_seeded_batch(
     allocation: FrequencyAllocation,
     fabrication: FabricationModel,
@@ -333,6 +477,7 @@ def simulate_yield_streaming(
     thresholds: CollisionThresholds | None = None,
     confidence: float = DEFAULT_CONFIDENCE,
     ci_method: str = "wilson",
+    tuning: TuningOptions | None = None,
 ) -> YieldResult:
     """Streaming chunked yield estimate in O(chunk_size) memory.
 
@@ -340,16 +485,20 @@ def simulate_yield_streaming(
     memory is one ``(chunk_size, num_qubits)`` array instead of the full
     ``(batch_size, num_qubits)`` batch, and the result is bit-identical
     to reducing :func:`materialize_seeded_batch` at the same
-    ``(seed, chunk_size)``.
+    ``(seed, chunk_size)``.  With ``tuning`` set, each chunk is repaired
+    before reduction (same chunk-seed contract, see :func:`_chunk_counts`).
     """
     estimator = StreamingEstimator(confidence=confidence, method=ci_method)
+    repaired = tuned_qubits = total_tunes = 0
     for index, length in enumerate(chunk_layout(batch_size, chunk_size)):
-        frequencies = _chunk_frequencies(
-            allocation, fabrication, length, seed, index
+        free, trials, chunk_repaired, chunk_tuned, chunk_tunes = _chunk_counts(
+            allocation, fabrication, length, seed, index, thresholds, tuning
         )
-        mask = collision_free_mask(allocation, frequencies, thresholds)
-        estimator.update(int(mask.sum()), length)
-    return YieldResult(
+        estimator.update(free, trials)
+        repaired += chunk_repaired
+        tuned_qubits += chunk_tuned
+        total_tunes += chunk_tunes
+    return _build_result(
         num_qubits=allocation.num_qubits,
         sigma_ghz=fabrication.sigma_ghz,
         step_ghz=allocation.spec.step_ghz,
@@ -357,6 +506,10 @@ def simulate_yield_streaming(
         num_collision_free=estimator.successes,
         confidence=confidence,
         ci_method=ci_method,
+        tuning=tuning,
+        num_repaired=repaired,
+        tuned_qubits=tuned_qubits,
+        total_tunes=total_tunes,
     )
 
 
@@ -370,6 +523,7 @@ def simulate_yield_adaptive(
     thresholds: CollisionThresholds | None = None,
     confidence: float = DEFAULT_CONFIDENCE,
     ci_method: str = "wilson",
+    tuning: TuningOptions | None = None,
 ) -> YieldResult:
     """Adaptive yield estimate: sample until the CI is tight enough.
 
@@ -379,15 +533,19 @@ def simulate_yield_adaptive(
     two instead of burning the full fixed batch.  Because chunk seeds
     are prefix-stable, the samples an adaptive run observes are exactly
     the first ``samples_used`` rows of the fixed-batch run at the same
-    ``(seed, chunk_size)``.
+    ``(seed, chunk_size)``.  With ``tuning`` set, each drawn chunk is
+    repaired before it reaches the stopping rule.
     """
+    repair_totals = [0, 0, 0]
 
     def draw_chunk(chunk_index: int, length: int) -> tuple[int, int]:
-        frequencies = _chunk_frequencies(
-            allocation, fabrication, length, seed, chunk_index
+        free, trials, chunk_repaired, chunk_tuned, chunk_tunes = _chunk_counts(
+            allocation, fabrication, length, seed, chunk_index, thresholds, tuning
         )
-        mask = collision_free_mask(allocation, frequencies, thresholds)
-        return int(mask.sum()), length
+        repair_totals[0] += chunk_repaired
+        repair_totals[1] += chunk_tuned
+        repair_totals[2] += chunk_tunes
+        return free, trials
 
     outcome = adaptive_estimate(
         draw_chunk,
@@ -397,7 +555,7 @@ def simulate_yield_adaptive(
         confidence=confidence,
         method=ci_method,
     )
-    return YieldResult(
+    return _build_result(
         num_qubits=allocation.num_qubits,
         sigma_ghz=fabrication.sigma_ghz,
         step_ghz=allocation.spec.step_ghz,
@@ -405,6 +563,10 @@ def simulate_yield_adaptive(
         num_collision_free=outcome.successes,
         confidence=confidence,
         ci_method=ci_method,
+        tuning=tuning,
+        num_repaired=repair_totals[0],
+        tuned_qubits=repair_totals[1],
+        total_tunes=repair_totals[2],
     )
 
 
@@ -417,24 +579,35 @@ def simulate_yield_chunk(
     thresholds: CollisionThresholds | None = None,
     lattice: Lattice | None = None,
     topology: str | None = None,
-) -> tuple[int, int]:
+    tuning: TuningOptions | None = None,
+) -> tuple[int, ...]:
     """One spawn-seeded chunk as a self-contained engine task.
 
     ``seed`` here is the *chunk's own* derived seed (see
     :func:`repro.stats.streaming.chunk_seed`), so the task is a pure,
     picklable function of its arguments and can run in any worker
-    process.  Returns ``(num_collision_free, chunk_length)``.
+    process.  Returns ``(num_collision_free, chunk_length)``; with
+    ``tuning`` set the tuple extends to ``(num_collision_free,
+    chunk_length, num_repaired, tuned_qubits, total_tunes)``.
     """
     arch = get_architecture(topology)
     if lattice is None:
         lattice = arch.lattice(num_qubits)
     allocation = arch.allocate(lattice, spec=arch.spec(step_ghz=step_ghz))
     fabrication = FabricationModel(sigma_ghz=sigma_ghz)
-    frequencies = fabrication.sample_batch(
-        allocation, chunk_length, np.random.default_rng(seed)
+    rng = np.random.default_rng(seed)
+    frequencies = fabrication.sample_batch(allocation, chunk_length, rng)
+    if tuning is None:
+        mask = collision_free_mask(allocation, frequencies, thresholds)
+        return int(mask.sum()), chunk_length
+    outcome = repair_batch(allocation, frequencies, tuning, rng, thresholds)
+    return (
+        outcome.num_free,
+        chunk_length,
+        outcome.num_repaired,
+        outcome.tuned_qubits,
+        outcome.total_tunes,
     )
-    mask = collision_free_mask(allocation, frequencies, thresholds)
-    return int(mask.sum()), chunk_length
 
 
 def simulate_yield_chunks(
@@ -450,6 +623,7 @@ def simulate_yield_chunks(
     confidence: float = DEFAULT_CONFIDENCE,
     ci_method: str = "wilson",
     topology: str | None = None,
+    tuning: TuningOptions | None = None,
 ) -> YieldResult:
     """The chunked estimate with chunks fanned out as engine tasks.
 
@@ -457,7 +631,9 @@ def simulate_yield_chunks(
     pre-derived spawn seed; results are reduced in submission order, so
     the estimate is bit-identical to :func:`simulate_yield_streaming`
     (and to the materialised monolithic batch) no matter how many worker
-    processes execute the chunks.
+    processes execute the chunks.  With ``tuning`` set each chunk task
+    repairs its own devices (the option joins the task kwargs, and
+    therefore the cache key, only when enabled).
     """
     if lattice is None:
         lattice = get_architecture(topology).lattice(num_qubits)
@@ -471,15 +647,21 @@ def simulate_yield_chunks(
             thresholds=thresholds,
             lattice=lattice,
             **_topology_kwargs(topology),
+            **_tuning_kwargs(tuning),
         )
         for index, length in enumerate(chunk_layout(batch_size, chunk_size))
     ]
     estimator = StreamingEstimator(confidence=confidence, method=ci_method)
-    for successes, trials in _run_points(
+    repaired = tuned_qubits = total_tunes = 0
+    for counts in _run_points(
         simulate_yield_chunk, kwargs_list, executor, "yield.chunk"
     ):
-        estimator.update(successes, trials)
-    return YieldResult(
+        estimator.update(counts[0], counts[1])
+        if len(counts) > 2:
+            repaired += counts[2]
+            tuned_qubits += counts[3]
+            total_tunes += counts[4]
+    return _build_result(
         num_qubits=lattice.num_qubits,
         sigma_ghz=sigma_ghz,
         step_ghz=step_ghz,
@@ -487,6 +669,10 @@ def simulate_yield_chunks(
         num_collision_free=estimator.successes,
         confidence=confidence,
         ci_method=ci_method,
+        tuning=tuning,
+        num_repaired=repaired,
+        tuned_qubits=tuned_qubits,
+        total_tunes=total_tunes,
     )
 
 
@@ -504,6 +690,7 @@ def simulate_yield_point(
     confidence: float = DEFAULT_CONFIDENCE,
     ci_method: str = "wilson",
     topology: str | None = None,
+    tuning: TuningOptions | None = None,
 ) -> YieldResult:
     """One self-contained (sigma, step, size) Monte-Carlo point.
 
@@ -520,9 +707,10 @@ def simulate_yield_point(
       full ``batch_size`` in O(chunk) memory;
     * neither — the legacy monolithic single-draw batch.
 
-    All statistics and topology parameters participate in the engine's
-    cache key, so changing any of them invalidates previously cached
-    points.
+    ``tuning`` routes every sampler through the post-fabrication repair
+    stage.  All statistics, topology and tuning parameters participate
+    in the engine's cache key, so changing any of them invalidates
+    previously cached points.
     """
     arch = get_architecture(topology)
     if lattice is None:
@@ -540,6 +728,7 @@ def simulate_yield_point(
             thresholds=thresholds,
             confidence=confidence,
             ci_method=ci_method,
+            tuning=tuning,
         )
     if chunk_size is not None:
         return simulate_yield_streaming(
@@ -551,6 +740,7 @@ def simulate_yield_point(
             thresholds=thresholds,
             confidence=confidence,
             ci_method=ci_method,
+            tuning=tuning,
         )
     return simulate_yield(
         allocation,
@@ -560,6 +750,7 @@ def simulate_yield_point(
         thresholds,
         confidence=confidence,
         ci_method=ci_method,
+        tuning=tuning,
     )
 
 
@@ -594,6 +785,19 @@ def _topology_kwargs(topology: str | None) -> dict:
     return dict(topology=topology)
 
 
+def _tuning_kwargs(tuning: TuningOptions | None) -> dict:
+    """Per-point kwargs encoding the post-fabrication repair options.
+
+    Returned empty when tuning is disabled, so untuned sweeps keep their
+    exact parameter sets and engine cache keys; an enabled
+    :class:`TuningOptions` (a frozen dataclass tree) becomes part of
+    every point's cache identity.
+    """
+    if tuning is None:
+        return {}
+    return dict(tuning=tuning)
+
+
 def yield_vs_qubits(
     sigma_ghz: float,
     step_ghz: float,
@@ -605,6 +809,7 @@ def yield_vs_qubits(
     executor=None,
     stats: StatsOptions | None = None,
     topology: str | None = None,
+    tuning: TuningOptions | None = None,
 ) -> YieldCurve:
     """Collision-free yield curve over a range of device sizes.
 
@@ -635,11 +840,14 @@ def yield_vs_qubits(
         requested confidence.
     topology:
         Registered topology name (heavy-hex when omitted).
+    tuning:
+        Optional post-fabrication repair options applied at every point.
     """
     arch = get_architecture(topology)
     curve = YieldCurve(sigma_ghz=sigma_ghz, step_ghz=step_ghz)
     stats_kwargs = _stats_point_kwargs(stats)
     topo_kwargs = _topology_kwargs(topology)
+    tuning_kwargs = _tuning_kwargs(tuning)
     kwargs_list = []
     for size, child_seed in zip(sizes, _point_seeds(seed, len(sizes))):
         if lattices is not None and size in lattices:
@@ -659,6 +867,7 @@ def yield_vs_qubits(
                 lattice=lattice,
                 **stats_kwargs,
                 **topo_kwargs,
+                **tuning_kwargs,
             )
         )
     curve.points.extend(
@@ -677,6 +886,7 @@ def detuning_sweep(
     executor=None,
     stats: StatsOptions | None = None,
     topology: str | None = None,
+    tuning: TuningOptions | None = None,
 ) -> dict[tuple[float, float], YieldCurve]:
     """The full Fig. 4 grid: one yield curve per (step, sigma) combination.
 
@@ -700,6 +910,7 @@ def detuning_sweep(
     curve_seeds = _point_seeds(seed, len(combos))
     stats_kwargs = _stats_point_kwargs(stats)
     topo_kwargs = _topology_kwargs(topology)
+    tuning_kwargs = _tuning_kwargs(tuning)
 
     lattices: dict[int, Lattice] = {}
     for size in sizes:
@@ -719,6 +930,7 @@ def detuning_sweep(
                     lattice=lattices[size],
                     **stats_kwargs,
                     **topo_kwargs,
+                    **tuning_kwargs,
                 )
             )
 

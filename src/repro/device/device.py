@@ -136,14 +136,25 @@ class Device:
         return len(self.coupling.link_edges)
 
     def qubit(self, index: int) -> PhysicalQubit:
-        """Return a :class:`PhysicalQubit` record for one qubit."""
+        """Return a :class:`PhysicalQubit` record for one qubit.
+
+        Devices that went through the post-fabrication repair stage list
+        their shifted qubits under the ``"tuned_qubits"`` metadata key;
+        the record's ``tuned`` flag reflects membership.
+        """
         label = int(self.labels[index])
         return PhysicalQubit(
             index=index,
             frequency_ghz=float(self.frequencies_ghz[index]),
             ideal_frequency_ghz=float(self.frequencies_ghz[index]),
             label=label,
+            tuned=index in set(self.metadata.get("tuned_qubits", ())),
         )
+
+    @property
+    def num_tuned_qubits(self) -> int:
+        """Qubits shifted by post-fabrication repair (0 when untuned)."""
+        return len(set(self.metadata.get("tuned_qubits", ())))
 
     def error_for(self, u: int, v: int) -> float:
         """Two-qubit gate infidelity of the coupling between ``u`` and ``v``."""

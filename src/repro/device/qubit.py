@@ -31,6 +31,10 @@ class PhysicalQubit:
         Transmon anharmonicity (negative).
     t1_us, t2_us:
         Optional relaxation / dephasing times in microseconds.
+    tuned:
+        True when the qubit's frequency was shifted by a
+        post-fabrication tuner (see :mod:`repro.tuning`); the frequency
+        fields then describe the *post-repair* device.
     """
 
     index: int
@@ -40,6 +44,7 @@ class PhysicalQubit:
     anharmonicity_ghz: float = -0.330
     t1_us: float | None = None
     t2_us: float | None = None
+    tuned: bool = False
 
     @property
     def frequency_offset_ghz(self) -> float:

@@ -21,7 +21,7 @@ never construct runners or caches themselves.
 
 from repro.engine.cache import ResultCache, stable_token
 from repro.engine.dispatch import run_calls
-from repro.engine.registry import ExperimentRegistry, ExperimentSpec
+from repro.engine.registry import ExperimentRegistry, ExperimentSpec, did_you_mean
 from repro.engine.runner import EngineStats, ExecutionEngine
 from repro.engine.seeding import spawn_seed_at, spawn_seeds
 from repro.engine.task import Task, TaskGraph
@@ -33,6 +33,7 @@ __all__ = [
     "stable_token",
     "ExperimentRegistry",
     "ExperimentSpec",
+    "did_you_mean",
     "Task",
     "TaskGraph",
     "run_calls",

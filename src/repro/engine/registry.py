@@ -7,10 +7,21 @@ alias) and hands them an :class:`~repro.engine.runner.ExecutionEngine`.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["ExperimentSpec", "ExperimentRegistry"]
+__all__ = ["ExperimentSpec", "ExperimentRegistry", "did_you_mean"]
+
+
+def did_you_mean(name: str, candidates) -> str:
+    """``"; did you mean 'x'?"`` when a close match exists, else ``""``.
+
+    Shared by the experiment and topology lookups so every CLI typo gets
+    the same suggestion format.
+    """
+    matches = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.5)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
 
 
 @dataclass(frozen=True)
@@ -36,6 +47,11 @@ class ExperimentSpec:
         True when the runner threads a ``--topology`` selection into its
         models; the CLI warns when the flag is passed to an experiment
         that ignores it.
+    tuning_aware:
+        True when the runner threads post-fabrication repair options
+        (the CLI's ``--tuning`` / ``--max-shift-mhz`` /
+        ``--repair-budget``) into its yield Monte-Carlo; the CLI warns
+        when the flags are passed to an experiment that ignores them.
     """
 
     name: str
@@ -44,6 +60,7 @@ class ExperimentSpec:
     aliases: tuple[str, ...] = field(default=())
     stats_aware: bool = False
     topology_aware: bool = False
+    tuning_aware: bool = False
 
 
 class ExperimentRegistry:
@@ -61,6 +78,7 @@ class ExperimentRegistry:
         aliases: tuple[str, ...] = (),
         stats_aware: bool = False,
         topology_aware: bool = False,
+        tuning_aware: bool = False,
     ) -> ExperimentSpec:
         """Register an experiment; raises on duplicate names or aliases."""
         spec = ExperimentSpec(
@@ -70,6 +88,7 @@ class ExperimentRegistry:
             aliases=aliases,
             stats_aware=stats_aware,
             topology_aware=topology_aware,
+            tuning_aware=tuning_aware,
         )
         for key in (name, *aliases):
             if key in self._specs or key in self._aliases:
@@ -84,7 +103,10 @@ class ExperimentRegistry:
         canonical = self._aliases.get(name, name)
         if canonical not in self._specs:
             known = ", ".join(sorted(self._specs))
-            raise KeyError(f"unknown experiment {name!r}; known: {known}")
+            suggestion = did_you_mean(name, [*self._specs, *self._aliases])
+            raise KeyError(
+                f"unknown experiment {name!r}{suggestion} (known: {known})"
+            )
         return self._specs[canonical]
 
     def names(self) -> list[str]:

@@ -15,11 +15,11 @@ def isolated_cache(tmp_path, monkeypatch):
 
 
 class TestRegistryContents:
-    def test_all_twelve_experiments_registered(self):
+    def test_all_fourteen_experiments_registered(self):
         assert set(EXPERIMENTS.names()) == {
             "fig3", "table1", "fig4", "fig6", "sec5c",
             "fig7", "fig8", "fig9", "fig10", "table2",
-            "topoyield", "topomcm",
+            "topoyield", "topomcm", "tunedyield", "repairbudget",
         }
 
     def test_aliases_resolve(self):
@@ -27,11 +27,23 @@ class TestRegistryContents:
         assert EXPERIMENTS.get("mcm").name == "fig8"
         assert EXPERIMENTS.get("apps").name == "fig10"
         assert EXPERIMENTS.get("topologies").name == "topoyield"
+        assert EXPERIMENTS.get("repair").name == "tunedyield"
+        assert EXPERIMENTS.get("budget").name == "repairbudget"
 
     def test_topology_awareness_flags(self):
         assert EXPERIMENTS.get("fig4").topology_aware
         assert EXPERIMENTS.get("topoyield").topology_aware
         assert not EXPERIMENTS.get("fig8").topology_aware
+
+    def test_tuning_awareness_flags(self):
+        assert EXPERIMENTS.get("fig4").tuning_aware
+        assert EXPERIMENTS.get("tunedyield").tuning_aware
+        assert EXPERIMENTS.get("repairbudget").tuning_aware
+        assert not EXPERIMENTS.get("fig8").tuning_aware
+
+    def test_unknown_experiment_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'fig9'"):
+            EXPERIMENTS.get("fig99")
 
     def test_build_study_respects_seed_and_batch(self):
         study = build_study(seed=5, batch_size=123)
@@ -46,6 +58,8 @@ class TestCLI:
         assert "fig4" in out and "table2" in out
         assert "topologies (for --topology):" in out
         assert "heavy-hex" in out and "square" in out and "ring" in out
+        assert "repair strategies (for --tuning):" in out
+        assert "greedy" in out and "anneal" in out
 
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
@@ -116,14 +130,84 @@ class TestCLI:
         assert strip(heavy) != strip(square)
 
     def test_invalid_topology_rejected(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["run", "fig4", "--topology", "kagome"])
-        assert "invalid choice" in capsys.readouterr().err
+        assert main(["run", "fig4", "--topology", "kagome"]) == 2
+        assert "unknown topology 'kagome'" in capsys.readouterr().err
+
+    def test_topology_typo_gets_suggestion(self, capsys):
+        assert main(["run", "fig4", "--topology", "sqare"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'square'" in err
+
+    def test_unknown_experiment_gets_suggestion(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "did you mean 'fig9'" in err
 
     def test_topology_warning_for_unaware_experiment(self, capsys):
         assert main(["run", "table1", "--topology", "square", "--jobs", "1"]) == 0
         err = capsys.readouterr().err
         assert "heavy-hex only" in err
+
+    def test_tuning_warning_for_unaware_experiment(self, capsys):
+        assert main(["run", "table1", "--tuning", "greedy", "--jobs", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "post-fabrication repair" in err
+
+    def test_run_tunedyield_with_tuning_flags(self, capsys):
+        args = [
+            "run", "tunedyield", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--tuning", "greedy", "--max-shift-mhz", "100", "--repair-budget", "2",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "as-fab" in out and "repaired" in out
+
+    def test_repair_budget_zero_is_noop_baseline(self, capsys):
+        args = [
+            "run", "fig4", "--batch", "80", "--jobs", "1", "--seed", "3", "--quiet",
+        ]
+        assert main([*args]) == 0
+        untuned = capsys.readouterr().out
+        assert main([*args, "--tuning", "greedy", "--repair-budget", "0"]) == 0
+        tuned = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("[engine]")
+        ]
+        assert strip(untuned) == strip(tuned)
+
+    def test_dump_json_writes_result_with_cis(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fig4.json"
+        args = [
+            "run", "fig4", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--quiet", "--dump-json", str(path),
+        ]
+        assert main(args) == 0
+        assert "result written to" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "fig4"
+        assert payload["seed"] == 7 and payload["batch_size"] == 60
+        points = next(iter(payload["result"]["results"].values()))
+        first = points[0]
+        assert {"ci_low", "ci_high", "num_collision_free", "batch_size"} <= set(first)
+        assert first["ci_low"] <= first["num_collision_free"] / first["batch_size"]
+        assert first["ci_high"] >= first["num_collision_free"] / first["batch_size"]
+
+    def test_dump_json_tuned_run_reports_repairs(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "budget.json"
+        args = [
+            "run", "repairbudget", "--batch", "60", "--jobs", "1",
+            "--quiet", "--dump-json", str(path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        rows = payload["result"]["rows"]
+        assert rows[0]["max_shift_mhz"] == 0.0 and rows[0]["num_repaired"] == 0
+        assert any(row["num_repaired"] > 0 for row in rows)
 
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 1

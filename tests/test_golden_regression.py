@@ -51,6 +51,8 @@ GOLDEN_PARAMS: dict[str, tuple[int, int | None]] = {
     "table2": (5, None),
     "topoyield": (7, 120),
     "topomcm": (7, 400),
+    "tunedyield": (7, 120),
+    "repairbudget": (7, 200),
 }
 
 #: Recursion cap for the structural summary (pathological cycles guard).
