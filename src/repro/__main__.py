@@ -20,11 +20,16 @@ Subcommands
     experiments: ``--tuning STRATEGY`` selects the repair strategy
     (``greedy`` or ``anneal``), ``--max-shift-mhz`` bounds the tuner's
     reach and ``--repair-budget`` caps the accepted shifts per qubit
-    (``0`` is a strict no-op baseline).  ``--dump-json PATH`` writes the
-    experiment's full result — every numeric field, confidence
-    intervals included — to a machine-readable JSON file.
+    (``0`` is a strict no-op baseline).  The compiler flags steer the
+    application experiments (``fig10``, ``appsweep``):
+    ``--benchmarks NAMES`` restricts the compiled benchmark subset
+    (comma-separated) and ``--routing NAME`` selects a registered
+    routing strategy (``basic`` or ``noise-aware``).  ``--dump-json
+    PATH`` writes the experiment's full result — every numeric field,
+    confidence intervals included — to a machine-readable JSON file.
 ``list``
-    Show every registered experiment, topology and repair strategy.
+    Show every registered experiment, topology, repair strategy,
+    benchmark and routing strategy.
 ``cache clear``
     Drop the on-disk result cache.
 
@@ -42,6 +47,8 @@ Examples
     python -m repro run fig4 --ci-target 0.02 --chunk-size 250 --max-samples 4000
     python -m repro run tunedyield --tuning greedy --max-shift-mhz 100
     python -m repro run repairbudget --tuning anneal --jobs 4
+    python -m repro run fig10 --routing noise-aware --benchmarks bv,qaoa
+    python -m repro run appsweep --jobs 4 --batch 400
     python -m repro run fig4 --dump-json fig4.json
     python -m repro run fig8 --jobs 4 --batch 2000
     python -m repro cache clear
@@ -57,6 +64,8 @@ from pathlib import Path
 
 from repro.analysis.registry import EXPERIMENTS
 from repro.analysis.reporting import jsonable
+from repro.circuits.benchmarks import BENCHMARK_NAMES
+from repro.compiler.pipeline import ROUTING_STRATEGIES
 from repro.core.architecture import ARCHITECTURES
 from repro.engine import ExecutionEngine, ResultCache, did_you_mean
 from repro.stats import StatsOptions
@@ -146,6 +155,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "implies --tuning greedy when no strategy is given)",
     )
     run.add_argument(
+        "--benchmarks",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated benchmark subset for application "
+        "experiments (default: fig10 compiles every benchmark, "
+        "appsweep a three-benchmark core; see `list`)",
+    )
+    run.add_argument(
+        "--routing",
+        default=None,
+        metavar="NAME",
+        help="registered routing strategy for application experiments "
+        "(default: basic; see `list`)",
+    )
+    run.add_argument(
         "--dump-json",
         type=Path,
         default=None,
@@ -183,6 +207,12 @@ def _cmd_list() -> int:
     for name in sorted(STRATEGIES):
         doc = (STRATEGIES[name].__doc__ or "").strip().splitlines()[0]
         print(f"  {name:<{width}}  {doc}")
+    print("\nbenchmarks (for --benchmarks):")
+    print("  " + ", ".join(BENCHMARK_NAMES))
+    print("\nrouting strategies (for --routing):")
+    width = max((len(name) for name in ROUTING_STRATEGIES.names()), default=0)
+    for strategy in ROUTING_STRATEGIES.specs():
+        print(f"  {strategy.name:<{width}}  {strategy.description}")
     return 0
 
 
@@ -212,6 +242,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+
+    benchmarks = None
+    if args.benchmarks is not None:
+        benchmarks = tuple(
+            name.strip() for name in args.benchmarks.split(",") if name.strip()
+        )
+        for name in benchmarks:
+            if name not in BENCHMARK_NAMES:
+                known = ", ".join(BENCHMARK_NAMES)
+                suggestion = did_you_mean(name, BENCHMARK_NAMES)
+                print(
+                    f"unknown benchmark {name!r}{suggestion} (known: {known})",
+                    file=sys.stderr,
+                )
+                return 2
+        if not benchmarks:
+            print("--benchmarks needs at least one name", file=sys.stderr)
+            return 2
+
+    if args.routing is not None and args.routing not in ROUTING_STRATEGIES:
+        known = ", ".join(ROUTING_STRATEGIES.names())
+        suggestion = did_you_mean(args.routing, ROUTING_STRATEGIES.names())
+        print(
+            f"unknown routing strategy {args.routing!r}{suggestion} "
+            f"(known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if (args.benchmarks is not None or args.routing is not None) and not spec.compiler_aware:
+        print(
+            f"warning: experiment {spec.name!r} does not thread benchmark/"
+            "routing selections; --benchmarks/--routing have no effect on it",
+            file=sys.stderr,
+        )
 
     stats = None
     if (
@@ -281,6 +346,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stats=stats,
         topology=args.topology,
         tuning=tuning,
+        benchmarks=benchmarks,
+        routing=args.routing,
     )
     elapsed = time.perf_counter() - started
 
@@ -294,6 +361,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "batch_size": args.batch,
             "topology": args.topology,
+            "benchmarks": list(benchmarks) if benchmarks else None,
+            "routing": args.routing,
             "tuning": jsonable(tuning),
             "elapsed_seconds": elapsed,
             "result": jsonable(result),

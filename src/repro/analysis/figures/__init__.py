@@ -19,11 +19,17 @@ Module                      Experiment
 ``fig10_apps``              Fig. 10 application-level fidelity ratios
 ``topologies``              cross-topology yield / MCM comparisons
 ``tuning``                  as-fab vs. repaired yield, repair-budget sweep
+``appsweep``                topology x routing x repair application sweep
 ==========================  =============================================
 
 The CLI-facing experiment registry lives in ``repro.analysis.registry``.
 """
 
+from repro.analysis.figures.appsweep import (
+    AppSweepResult,
+    AppSweepRow,
+    run_appsweep,
+)
 from repro.analysis.figures.fig3_trends import Fig3Result, run_fig3_processor_trends
 from repro.analysis.figures.fig4_yield import Fig4Result, run_fig4_yield_sweep
 from repro.analysis.figures.fig6_configurations import run_fig6_configurations
@@ -52,6 +58,9 @@ from repro.analysis.figures.tuning import (
 )
 
 __all__ = [
+    "AppSweepResult",
+    "AppSweepRow",
+    "run_appsweep",
     "Fig3Result",
     "Fig4Result",
     "Fig7Result",

@@ -4,7 +4,8 @@ Each figure/table driver is registered under its paper name with a
 uniform runner signature::
 
     runner(engine, seed=None, batch_size=None, full=False, stats=None,
-           topology=None, tuning=None) -> (result, text)
+           topology=None, tuning=None, benchmarks=None, routing=None)
+        -> (result, text)
 
 ``engine`` is an :class:`repro.engine.ExecutionEngine` (or ``None`` for
 plain in-process execution), ``seed`` overrides the experiment's default
@@ -18,8 +19,11 @@ experiments marked ``topology_aware``, and ``tuning`` is an optional
 :class:`repro.tuning.TuningOptions` (the CLI's ``--tuning`` /
 ``--max-shift-mhz`` / ``--repair-budget``) routing the yield
 Monte-Carlo through the post-fabrication repair stage on experiments
-marked ``tuning_aware``.  ``text`` is the human-readable rendering the
-CLI prints.
+marked ``tuning_aware``.  ``benchmarks`` (the CLI's ``--benchmarks``)
+restricts the compiled benchmark set and ``routing`` (the CLI's
+``--routing``) selects a registered routing strategy on experiments
+marked ``compiler_aware``.  ``text`` is the human-readable rendering
+the CLI prints.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.analysis.figures import (
+    run_appsweep,
     run_fig3_processor_trends,
     run_repair_budget_sweep,
     run_topology_mcm_comparison,
@@ -44,6 +49,7 @@ from repro.analysis.figures import (
 )
 from repro.analysis.reporting import format_table
 from repro.analysis.study import ArchitectureStudy, StudyConfig
+from repro.circuits.benchmarks import BENCHMARK_NAMES
 from repro.core.chiplet import PAPER_CHIPLET_SIZES
 from repro.engine import ExperimentRegistry
 
@@ -76,17 +82,17 @@ def build_study(
     return ArchitectureStudy(config, engine=engine)
 
 
-def _fig3(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _fig3(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     result = run_fig3_processor_trends(seed=seed if seed is not None else 11)
     return result, result.format_table()
 
 
-def _table1(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _table1(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     result = run_table1_collision_criteria()
     return result, result.format_table()
 
 
-def _fig4(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _fig4(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     result = run_fig4_yield_sweep(
         batch_size=batch_size or 1000,
         seed=seed if seed is not None else 7,
@@ -104,7 +110,7 @@ def _fig4(engine, seed=None, batch_size=None, full=False, stats=None, topology=N
     return result, result.format_table()
 
 
-def _fig6(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _fig6(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     points = run_fig6_configurations(
         batch_size=batch_size or 100_000,
         seed=seed if seed is not None else 7,
@@ -120,7 +126,7 @@ def _fig6(engine, seed=None, batch_size=None, full=False, stats=None, topology=N
     return points, text
 
 
-def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     result = run_sec5c_fabrication_output(
         batch_size=batch_size or 1000,
         seed=seed if seed is not None else 7,
@@ -139,7 +145,7 @@ def _sec5c(engine, seed=None, batch_size=None, full=False, stats=None, topology=
     return result, text
 
 
-def _fig7(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _fig7(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     result = run_fig7_detuning_model(seed=seed if seed is not None else 11)
     summary = (
         f"median {result.median:.4f}, mean {result.mean:.4f} "
@@ -148,13 +154,13 @@ def _fig7(engine, seed=None, batch_size=None, full=False, stats=None, topology=N
     return result, summary + result.format_table()
 
 
-def _fig8(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _fig8(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig8_yield_comparison(study)
     return result, result.format_table()
 
 
-def _fig9(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _fig9(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig9_infidelity_heatmap(study)
     sections = []
@@ -164,17 +170,38 @@ def _fig9(engine, seed=None, batch_size=None, full=False, stats=None, topology=N
     return result, "\n".join(sections)
 
 
-def _fig10(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _fig10(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     study = build_study(engine, seed, batch_size, full)
     result = run_fig10_applications(
-        study, square_only=not full, seed=seed if seed is not None else 5
+        study,
+        square_only=not full,
+        benchmarks=tuple(benchmarks) if benchmarks else BENCHMARK_NAMES,
+        seed=seed if seed is not None else 5,
+        engine=engine,
+        routing=routing or "basic",
+    )
+    return result, result.format_table()
+
+
+def _appsweep(
+    engine, seed=None, batch_size=None, full=False, stats=None, topology=None,
+    tuning=None, benchmarks=None, routing=None,
+) -> tuple[Any, str]:
+    result = run_appsweep(
+        topologies=(topology,) if topology else None,
+        benchmarks=tuple(benchmarks) if benchmarks else None,
+        routings=(routing,) if routing else None,
+        batch_size=batch_size or 400,
+        seed=seed if seed is not None else 7,
+        engine=engine,
+        tuning=tuning,
     )
     return result, result.format_table()
 
 
 def _topoyield(
     engine, seed=None, batch_size=None, full=False, stats=None, topology=None,
-    tuning=None,
+    tuning=None, benchmarks=None, routing=None,
 ) -> tuple[Any, str]:
     topologies = (topology,) if topology else None
     result = run_topology_yield_comparison(
@@ -190,7 +217,7 @@ def _topoyield(
 
 def _topomcm(
     engine, seed=None, batch_size=None, full=False, stats=None, topology=None,
-    tuning=None,
+    tuning=None, benchmarks=None, routing=None,
 ) -> tuple[Any, str]:
     topologies = (topology,) if topology else None
     result = run_topology_mcm_comparison(
@@ -204,7 +231,7 @@ def _topomcm(
 
 def _tunedyield(
     engine, seed=None, batch_size=None, full=False, stats=None, topology=None,
-    tuning=None,
+    tuning=None, benchmarks=None, routing=None,
 ) -> tuple[Any, str]:
     topologies = (topology,) if topology else None
     result = run_tuned_yield_comparison(
@@ -220,7 +247,7 @@ def _tunedyield(
 
 def _repairbudget(
     engine, seed=None, batch_size=None, full=False, stats=None, topology=None,
-    tuning=None,
+    tuning=None, benchmarks=None, routing=None,
 ) -> tuple[Any, str]:
     result = run_repair_budget_sweep(
         topology=topology,
@@ -232,7 +259,7 @@ def _repairbudget(
     return result, result.format_table()
 
 
-def _table2(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None) -> tuple[Any, str]:
+def _table2(engine, seed=None, batch_size=None, full=False, stats=None, topology=None, tuning=None, benchmarks=None, routing=None) -> tuple[Any, str]:
     sizes = (10, 20, 40, 60, 90) if full else (10, 20, 40)
     result = run_table2_compiled_benchmarks(
         chiplet_sizes=sizes,
@@ -279,7 +306,11 @@ EXPERIMENTS.register(
     "fig9", "Fig. 9: average-infidelity heat-maps, four link scenarios", _fig9
 )
 EXPERIMENTS.register(
-    "fig10", "Fig. 10: application-level fidelity ratios", _fig10, aliases=("apps",)
+    "fig10",
+    "Fig. 10: application-level fidelity ratios (engine-parallel compiles)",
+    _fig10,
+    aliases=("apps",),
+    compiler_aware=True,
 )
 EXPERIMENTS.register(
     "table2", "Table II: compiled benchmark gate counts on 2x2 MCMs", _table2
@@ -315,4 +346,13 @@ EXPERIMENTS.register(
     aliases=("budget",),
     topology_aware=True,
     tuning_aware=True,
+)
+EXPERIMENTS.register(
+    "appsweep",
+    "Application fidelity across topology x routing x repair ensembles",
+    _appsweep,
+    aliases=("appeval",),
+    topology_aware=True,
+    tuning_aware=True,
+    compiler_aware=True,
 )

@@ -26,6 +26,7 @@ from repro.core.assembly import (
     assemble_mcms,
     fabricate_chiplet_bin,
     post_assembly_yield,
+    rank_devices,
     ChipletBin,
 )
 from repro.core.architecture import DEFAULT_TOPOLOGY, get_architecture
@@ -158,6 +159,15 @@ class MCMResult:
     def num_mcms(self) -> int:
         """Number of assembled modules."""
         return len(self.assembly.mcms)
+
+    def top_devices(self, count: int) -> list[Device]:
+        """Device views of the ``count`` lowest-average-error modules.
+
+        The application-evaluation layer scores this ensemble instead of
+        just ``best_device``: one device per configuration is a noisy
+        (single order statistic) estimator of architecture quality.
+        """
+        return rank_devices(self.assembly.mcms, count, self.design.name)
 
     def eavg(self, link_scale: float = 1.0, count: int | None = None) -> float:
         """Average two-qubit infidelity over (a prefix of) the modules.

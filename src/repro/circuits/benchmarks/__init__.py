@@ -19,6 +19,7 @@ from repro.circuits.benchmarks.hamiltonian import tfim_hamiltonian
 from repro.circuits.benchmarks.primacy import quantum_primacy
 from repro.circuits.benchmarks.qaoa import qaoa_maxcut
 from repro.circuits.circuit import QuantumCircuit
+from repro.engine.registry import did_you_mean
 
 __all__ = [
     "BENCHMARKS",
@@ -61,5 +62,8 @@ def build_benchmark(name: str, num_qubits: int, seed: int | None = None) -> Quan
         Seed for the randomised benchmarks (QAOA, primacy).
     """
     if name not in BENCHMARKS:
-        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}")
+        suggestion = did_you_mean(name, BENCHMARKS)
+        raise KeyError(
+            f"unknown benchmark {name!r}{suggestion}; known: {sorted(BENCHMARKS)}"
+        )
     return BENCHMARKS[name](num_qubits, seed=seed)

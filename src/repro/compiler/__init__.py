@@ -1,9 +1,18 @@
-"""Compiler substrate: decomposition, layout, routing, transpilation."""
+"""Compiler substrate: pass pipeline, decomposition, layout, routing."""
 
 from repro.compiler.decompose import decompose_swaps, decompose_to_cx_basis
 from repro.compiler.layout import Layout, choose_layout, find_long_path, is_chain_circuit
 from repro.compiler.metrics import GateMetrics, gate_metrics
-from repro.compiler.routing import RoutedCircuit, route_circuit
+from repro.compiler.pipeline import (
+    CompileContext,
+    CompilerStrategy,
+    LAYOUT_STRATEGIES,
+    Pass,
+    PassPipeline,
+    ROUTING_STRATEGIES,
+    default_pipeline,
+)
+from repro.compiler.routing import RoutedCircuit, route_circuit, route_circuit_noise_aware
 from repro.compiler.transpile import TranspiledCircuit, transpile
 
 __all__ = [
@@ -15,8 +24,16 @@ __all__ = [
     "is_chain_circuit",
     "GateMetrics",
     "gate_metrics",
+    "CompileContext",
+    "CompilerStrategy",
+    "LAYOUT_STRATEGIES",
+    "Pass",
+    "PassPipeline",
+    "ROUTING_STRATEGIES",
+    "default_pipeline",
     "RoutedCircuit",
     "route_circuit",
+    "route_circuit_noise_aware",
     "TranspiledCircuit",
     "transpile",
 ]

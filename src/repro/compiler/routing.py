@@ -13,18 +13,40 @@ This is intentionally a greedy router (in the spirit of the lookahead-free
 baseline of SABRE); the paper's conclusions depend on relative gate counts
 between architectures compiled identically, not on squeezing out the last
 few SWAPs.
+
+:func:`route_circuit_noise_aware` is the error-weighted variant: instead
+of hop-shortest SWAP chains it walks weighted shortest paths where each
+coupling costs ``-log10(1 - e(edge))`` — the log-fidelity the gates
+executed on it will pay — so SWAP traffic detours around the worst
+couplings of a fabricated device.  With no error map it degrades to the
+hop metric.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate
 from repro.compiler.layout import Layout
 from repro.topology.coupling import CouplingMap
 
-__all__ = ["RoutedCircuit", "route_circuit"]
+__all__ = ["RoutedCircuit", "route_circuit", "route_circuit_noise_aware"]
+
+#: Weight assigned to a fully-depolarising coupling (error >= 1): large
+#: enough that any finite-fidelity detour wins, finite so a graph whose
+#: only route crosses a dead edge still routes (the fidelity product
+#: then reports -inf, as it should).
+DEAD_EDGE_WEIGHT = 1.0e9
+
+#: Additive per-hop cost so that between equal-error alternatives the
+#: shorter SWAP chain wins deterministically, and near-zero-error regions
+#: are not traversed "for free" by absurdly long chains.
+HOP_PENALTY = 1.0e-9
 
 
 @dataclass
@@ -108,6 +130,162 @@ def route_circuit(
             working.swap_physical(mover, step)
             p_a = working.physical(virtual_a)
             p_b = working.physical(virtual_b)
+        physical.append(Gate(gate.name, (p_a, p_b), gate.params))
+        routed.two_qubit_edges.append((min(p_a, p_b), max(p_a, p_b)))
+
+    return routed
+
+
+def _edge_weight_matrices(coupling: CouplingMap, edge_errors):
+    """Weighted all-pairs distances and predecessors for the error metric.
+
+    Returns ``(weight, distance, predecessors)`` where ``weight`` is the
+    dense per-edge cost matrix (``inf`` for non-edges) and the other two
+    come from a Dijkstra run over it.  ``edge_errors`` is a
+    :class:`~repro.device.device.Device` — whose cached
+    ``edge_error_arrays()`` feed one vectorised cost computation — or a
+    raw mapping, walked per edge (couplings missing from the map cost
+    only the hop penalty: they are treated as ideal).
+    """
+    from repro.device.device import Device
+
+    n = coupling.num_qubits
+    is_device = isinstance(edge_errors, Device)
+    # The array fast path requires the error map to be exactly the
+    # coupling's edge set.  Device.__post_init__ already forbids missing
+    # couplings, so the only way out is a map carrying *extra* edges —
+    # those must not become routable, so such devices (and raw
+    # mappings) take the per-edge walk over coupling.edges instead.
+    if is_device and len(edge_errors.edge_errors) == coupling.num_edges:
+        keys, errors = edge_errors.edge_error_arrays()
+        edge_u = keys // n
+        edge_v = keys % n
+        safe = np.clip(1.0 - errors, 1e-300, None)
+        costs = HOP_PENALTY - np.log10(safe)
+        costs[errors >= 1.0] = DEAD_EDGE_WEIGHT
+    else:
+        if is_device:
+            edge_errors = edge_errors.edge_errors
+        pairs = []
+        cost_list = []
+        for u, v in coupling.edges:
+            error = float(edge_errors.get((u, v), edge_errors.get((v, u), 0.0)))
+            if error < 1.0:
+                cost_list.append(HOP_PENALTY - np.log10(1.0 - error))
+            else:
+                cost_list.append(DEAD_EDGE_WEIGHT)
+            pairs.append((u, v))
+        edge_u = np.asarray([u for u, _ in pairs], dtype=np.int64)
+        edge_v = np.asarray([v for _, v in pairs], dtype=np.int64)
+        costs = np.asarray(cost_list)
+
+    weight = np.full((n, n), np.inf)
+    weight[edge_u, edge_v] = costs
+    weight[edge_v, edge_u] = costs
+    matrix = csr_matrix(
+        (
+            np.concatenate([costs, costs]),
+            (np.concatenate([edge_u, edge_v]), np.concatenate([edge_v, edge_u])),
+        ),
+        shape=(n, n),
+    )
+    distance, predecessors = shortest_path(
+        matrix, method="D", directed=False, return_predecessors=True
+    )
+    return weight, distance, predecessors
+
+
+def _weighted_path(predecessors: np.ndarray, source: int, target: int) -> list[int]:
+    """Reconstruct one weighted shortest path from the predecessor matrix."""
+    path = [target]
+    node = target
+    while node != source:
+        node = int(predecessors[source, node])
+        if node < 0:
+            raise ValueError(
+                f"qubits {source} and {target} are not connected in the coupling map"
+            )
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def route_circuit_noise_aware(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    layout: Layout,
+    edge_errors: dict[tuple[int, int], float] | None = None,
+) -> RoutedCircuit:
+    """Route a (CX-basis) circuit along error-weighted shortest paths.
+
+    Like :func:`route_circuit`, but SWAP chains follow the path that
+    minimises the summed log-infidelity of the couplings they traverse
+    (each edge costing ``-log10(1 - e(edge))`` plus a tiny hop penalty),
+    and the final CX also executes on the last edge of that path — so a
+    gate between graph-adjacent qubits may still detour when the direct
+    coupling is bad enough that two SWAPs over clean couplings cost less.
+    The walk consumes the weighted path from whichever end's next step is
+    cheaper (ties towards the lower physical index), mirroring the basic
+    router's mover selection.
+
+    Parameters
+    ----------
+    circuit:
+        Logical circuit containing only one- and two-qubit gates.
+    coupling:
+        Physical connectivity.
+    layout:
+        Initial virtual -> physical placement (will not be mutated).
+    edge_errors:
+        A :class:`~repro.device.device.Device` (its cached
+        ``edge_error_arrays()`` feed the weight construction) or a raw
+        per-coupling infidelity map.  ``None`` or an empty map falls
+        back to :func:`route_circuit`'s hop metric.
+    """
+    if not edge_errors:
+        return route_circuit(circuit, coupling, layout)
+
+    weight, _, predecessors = _edge_weight_matrices(coupling, edge_errors)
+    working = layout.copy()
+    physical = QuantumCircuit(num_qubits=coupling.num_qubits, name=circuit.name)
+    routed = RoutedCircuit(
+        circuit=physical,
+        initial_layout=layout.copy(),
+        final_layout=working,
+    )
+
+    for gate in circuit:
+        if gate.num_qubits == 1:
+            physical.append(
+                Gate(gate.name, (working.physical(gate.qubits[0]),), gate.params)
+            )
+            continue
+        if gate.num_qubits != 2:
+            raise ValueError(
+                f"gate {gate.name!r} must be decomposed to the CX basis before routing"
+            )
+        virtual_a, virtual_b = gate.qubits
+        p_a = working.physical(virtual_a)
+        p_b = working.physical(virtual_b)
+        # Walk the weighted shortest path inward from both ends until the
+        # operands sit on its final edge.  Each SWAP shortens the path by
+        # one hop (subpaths of shortest paths are shortest), so the loop
+        # terminates after len(path) - 2 swaps.
+        path = _weighted_path(predecessors, p_a, p_b)
+        while len(path) > 2:
+            cost_a = weight[path[0], path[1]]
+            cost_b = weight[path[-1], path[-2]]
+            if (cost_a, path[0]) <= (cost_b, path[-1]):
+                mover, step = path[0], path[1]
+                path = path[1:]
+            else:
+                mover, step = path[-1], path[-2]
+                path = path[:-1]
+            physical.swap(mover, step)
+            routed.num_swaps += 1
+            routed.two_qubit_edges.append((min(mover, step), max(mover, step)))
+            working.swap_physical(mover, step)
+        p_a, p_b = working.physical(virtual_a), working.physical(virtual_b)
         physical.append(Gate(gate.name, (p_a, p_b), gate.params))
         routed.two_qubit_edges.append((min(p_a, p_b), max(p_a, p_b)))
 

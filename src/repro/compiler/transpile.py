@@ -1,74 +1,35 @@
-"""End-to-end transpilation: decompose -> layout -> route -> decompose SWAPs.
+"""End-to-end transpilation: a thin wrapper over the default pass pipeline.
 
 :func:`transpile` is the single entry point the evaluation harness uses to
 map a logical benchmark onto a :class:`~repro.device.device.Device` (or a
-bare coupling map), returning the physical circuit together with the
-metrics and the list of physical couplings every two-qubit gate executes on
-(the input to the fidelity-product figure of merit).
+bare coupling map).  The actual work happens in
+:mod:`repro.compiler.pipeline`, which composes the decompose -> layout ->
+route -> swap-expand -> metrics stages as individual passes with
+name-keyed strategy registries; this module keeps the historical
+signature (plus a ``routing`` strategy selector) and re-exports
+:class:`TranspiledCircuit` for existing importers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.circuits.circuit import QuantumCircuit
-from repro.compiler.decompose import decompose_to_cx_basis, decompose_swaps
-from repro.compiler.layout import Layout, choose_layout
-from repro.compiler.metrics import GateMetrics, gate_metrics
-from repro.compiler.routing import route_circuit
+from repro.compiler.pipeline import (
+    DEFAULT_LAYOUT,
+    DEFAULT_ROUTING,
+    TranspiledCircuit,
+    default_pipeline,
+)
 from repro.device.device import Device
 from repro.topology.coupling import CouplingMap
 
 __all__ = ["TranspiledCircuit", "transpile"]
 
 
-@dataclass
-class TranspiledCircuit:
-    """A benchmark mapped onto physical hardware.
-
-    Attributes
-    ----------
-    circuit:
-        Physical circuit in the {1-qubit, CX} basis.
-    initial_layout:
-        Virtual -> physical placement chosen by the layout pass.
-    num_swaps:
-        SWAPs inserted by routing (each contributes 3 CX to the counts).
-    metrics:
-        Table II-style gate metrics of the physical circuit.
-    two_qubit_edges:
-        Physical coupling used by each two-qubit gate, in program order,
-        with SWAP gates expanded to three entries.
-    """
-
-    circuit: QuantumCircuit
-    initial_layout: Layout
-    num_swaps: int
-    metrics: GateMetrics
-    two_qubit_edges: list[tuple[int, int]] = field(default_factory=list)
-
-    @property
-    def num_two_qubit_gates(self) -> int:
-        """Two-qubit gate count of the physical circuit."""
-        return self.metrics.num_two_qubit
-
-
-def _coupling_of(target: Device | CouplingMap) -> CouplingMap:
-    if isinstance(target, Device):
-        return target.coupling
-    return target
-
-
-def _edge_errors_of(target: Device | CouplingMap) -> dict[tuple[int, int], float] | None:
-    if isinstance(target, Device):
-        return target.edge_errors
-    return None
-
-
 def transpile(
     circuit: QuantumCircuit,
     target: Device | CouplingMap,
-    layout_method: str = "auto",
+    layout_method: str = DEFAULT_LAYOUT,
+    routing: str = DEFAULT_ROUTING,
 ) -> TranspiledCircuit:
     """Map a logical circuit onto a device.
 
@@ -79,27 +40,15 @@ def transpile(
     target:
         Device or coupling map to compile onto.
     layout_method:
-        Initial-layout strategy (see :func:`repro.compiler.layout.choose_layout`).
+        Registered initial-layout strategy
+        (see :data:`repro.compiler.pipeline.LAYOUT_STRATEGIES`).
+    routing:
+        Registered routing strategy
+        (see :data:`repro.compiler.pipeline.ROUTING_STRATEGIES`);
+        ``"basic"`` reproduces the seed-state router bit-identically,
+        ``"noise-aware"`` detours SWAP traffic around high-error
+        couplings using the device's error map.
     """
-    coupling = _coupling_of(target)
-    logical = decompose_to_cx_basis(circuit)
-    layout = choose_layout(
-        logical, coupling, method=layout_method, edge_errors=_edge_errors_of(target)
-    )
-    routed = route_circuit(logical, coupling, layout)
-    physical = decompose_swaps(routed.circuit)
-
-    # Expand SWAP edges: each SWAP contributes three CX on the same coupling.
-    edges: list[tuple[int, int]] = []
-    for gate, edge in zip(
-        (g for g in routed.circuit if g.num_qubits == 2), routed.two_qubit_edges
-    ):
-        edges.extend([edge, edge, edge] if gate.name == "swap" else [edge])
-
-    return TranspiledCircuit(
-        circuit=physical,
-        initial_layout=routed.initial_layout,
-        num_swaps=routed.num_swaps,
-        metrics=gate_metrics(physical),
-        two_qubit_edges=edges,
+    return default_pipeline(layout_method=layout_method, routing=routing).run(
+        circuit, target
     )

@@ -45,6 +45,7 @@ __all__ = [
     "AssemblyResult",
     "fabricate_chiplet_bin",
     "assemble_mcms",
+    "rank_devices",
     "post_assembly_yield",
     "bump_bond_success_probability",
     "C4_BUMP_SUCCESS_PROBABILITY",
@@ -183,6 +184,24 @@ class AssembledMCM:
         )
 
 
+def rank_devices(
+    mcms: "list[AssembledMCM]", count: int, name_prefix: str
+) -> list[Device]:
+    """Device views of the ``count`` lowest-average-error modules.
+
+    The application-evaluation layer scores this top-k ensemble instead
+    of a single best device: one device per configuration is a noisy
+    (single order statistic) estimator of architecture quality.  Shared
+    by :meth:`repro.analysis.study.MCMResult.top_devices` and the
+    appsweep device-build task so the ranking rule lives in one place.
+    """
+    ranked = sorted(mcms, key=lambda m: m.average_error)[:count]
+    return [
+        mcm.to_device(name=f"{name_prefix}-rank{rank}")
+        for rank, mcm in enumerate(ranked)
+    ]
+
+
 @dataclass
 class AssemblyResult:
     """Outcome of assembling one MCM configuration from a chiplet bin."""
@@ -212,54 +231,67 @@ def fabricate_chiplet_bin(
     """Fabricate, screen, (optionally) repair and KGD-characterise a batch.
 
     With ``tuning`` set, dies that fail collision screening are handed to
-    the post-fabrication repair stage (continuing ``rng``); recovered
-    dies join the bin after the as-fabricated survivors, flagged
-    ``repaired``, before the whole bin is speed-sorted by average error.
-    The untuned path consumes exactly the historical random stream.
+    the post-fabrication repair stage; recovered dies join the bin after
+    the as-fabricated survivors, flagged ``repaired``, before the whole
+    bin is speed-sorted by average error.  Repair (and the repaired
+    dies' error characterisation) draws from a *spawned child* of
+    ``rng``, never from the main stream — so the as-fabricated
+    survivors' frequencies AND error draws are bit-identical between a
+    tuned bin and its untuned twin at the same seed, and the repair axis
+    of a comparison isolates the repair effect instead of resampling
+    every coupling.  The untuned path consumes exactly the historical
+    random stream.  (Child spawning needs a seed-sequence-backed
+    generator — anything from ``np.random.default_rng``.)
     """
     frequencies = fabrication.sample_batch(design.allocation, batch_size, rng)
     mask = collision_free_mask(design.allocation, frequencies, thresholds)
     num_repaired = 0
+    repaired_rows = frequencies[:0]
+    repaired_tuned: list[tuple[int, ...]] = []
+    repair_rng: np.random.Generator | None = None
     if tuning is not None and not mask.all():
-        outcome = repair_batch(design.allocation, frequencies, tuning, rng, thresholds)
+        repair_rng = rng.spawn(1)[0]
+        outcome = repair_batch(
+            design.allocation, frequencies, tuning, repair_rng, thresholds
+        )
         num_repaired = outcome.num_repaired
-        survivors = np.concatenate(
-            [frequencies[mask], outcome.frequencies[outcome.repaired_mask]], axis=0
-        )
-        repaired_flags = np.concatenate(
-            [np.zeros(int(mask.sum()), dtype=bool), np.ones(num_repaired, dtype=bool)]
-        )
-        tuned_lists = [()] * int(mask.sum()) + [
+        repaired_rows = outcome.frequencies[outcome.repaired_mask]
+        repaired_tuned = [
             outcome.tuned_qubit_indices.get(int(index), ())
             for index in np.flatnonzero(outcome.repaired_mask)
         ]
-    else:
-        survivors = frequencies[mask]
-        repaired_flags = np.zeros(survivors.shape[0], dtype=bool)
-        tuned_lists = [()] * survivors.shape[0]
 
     edges = design.edges()
+    edge_u = np.asarray([u for u, _ in edges])
+    edge_v = np.asarray([v for _, v in edges])
+
+    def _characterise(rows: np.ndarray, sample_rng: np.random.Generator) -> list[list[float]]:
+        # Vectorised detunings for every surviving die and coupling; one
+        # bulk ndarray -> Python-float conversion for the whole batch
+        # (tolist yields the same values as per-element float() casts).
+        detunings = np.abs(rows[:, edge_u] - rows[:, edge_v])
+        return cx_model.sample_many(detunings, sample_rng).tolist()
+
     chiplets: list[FabricatedChiplet] = []
-    if survivors.shape[0]:
-        # Vectorised detunings for every surviving die and coupling.
-        edge_u = np.asarray([u for u, _ in edges])
-        edge_v = np.asarray([v for _, v in edges])
-        detunings = np.abs(survivors[:, edge_u] - survivors[:, edge_v])
-        errors = cx_model.sample_many(detunings, rng)
-        # One bulk ndarray -> Python-float conversion for the whole batch
-        # (tolist yields the same values as per-element float() casts),
-        # then a dict per survivor, instead of a Python loop over every
-        # (survivor, coupling) pair.
-        error_rows = errors.tolist()
-        chiplets = [
+    as_fab = frequencies[mask]
+    if as_fab.shape[0]:
+        chiplets += [
             FabricatedChiplet(
-                frequencies_ghz=frequencies.copy(),
+                frequencies_ghz=row_frequencies.copy(),
                 edge_errors=dict(zip(edges, row)),
-                repaired=bool(flag),
+            )
+            for row_frequencies, row in zip(as_fab, _characterise(as_fab, rng))
+        ]
+    if repaired_rows.shape[0]:
+        chiplets += [
+            FabricatedChiplet(
+                frequencies_ghz=row_frequencies.copy(),
+                edge_errors=dict(zip(edges, row)),
+                repaired=True,
                 tuned_qubits=tuple(tuned),
             )
-            for frequencies, row, flag, tuned in zip(
-                survivors, error_rows, repaired_flags, tuned_lists
+            for row_frequencies, row, tuned in zip(
+                repaired_rows, _characterise(repaired_rows, repair_rng), repaired_tuned
             )
         ]
     chiplets.sort(key=lambda c: c.average_error)

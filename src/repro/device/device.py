@@ -54,6 +54,9 @@ class Device:
     labels: np.ndarray
     edge_errors: dict[tuple[int, int], float]
     metadata: dict = field(default_factory=dict)
+    _edge_arrays: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.frequencies_ghz = np.asarray(self.frequencies_ghz, dtype=float)
@@ -155,6 +158,24 @@ class Device:
     def num_tuned_qubits(self) -> int:
         """Qubits shifted by post-fabrication repair (0 when untuned)."""
         return len(set(self.metadata.get("tuned_qubits", ())))
+
+    def edge_error_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached array view of the normalised edge-error map.
+
+        Returns ``(keys, errors)`` where ``keys`` is the sorted
+        ``int64`` array encoding each normalised coupling ``(u, v)``
+        (``u < v``) as ``u * num_qubits + v`` and ``errors`` holds the
+        matching infidelities.  Computed once per device and reused by
+        the vectorised fidelity product and the noise-aware router, so
+        hot scoring loops never rebuild a per-call edge dict.
+        """
+        if self._edge_arrays is None:
+            n = self.coupling.num_qubits
+            items = sorted(self.edge_errors.items())
+            keys = np.asarray([u * n + v for (u, v), _ in items], dtype=np.int64)
+            errors = np.asarray([error for _, error in items], dtype=float)
+            self._edge_arrays = (keys, errors)
+        return self._edge_arrays
 
     def error_for(self, u: int, v: int) -> float:
         """Two-qubit gate infidelity of the coupling between ``u`` and ``v``."""

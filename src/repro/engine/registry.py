@@ -52,6 +52,11 @@ class ExperimentSpec:
         (the CLI's ``--tuning`` / ``--max-shift-mhz`` /
         ``--repair-budget``) into its yield Monte-Carlo; the CLI warns
         when the flags are passed to an experiment that ignores them.
+    compiler_aware:
+        True when the runner threads benchmark and routing-strategy
+        selections (the CLI's ``--benchmarks`` / ``--routing``) into
+        its application compilation; the CLI warns when the flags are
+        passed to an experiment that ignores them.
     """
 
     name: str
@@ -61,6 +66,7 @@ class ExperimentSpec:
     stats_aware: bool = False
     topology_aware: bool = False
     tuning_aware: bool = False
+    compiler_aware: bool = False
 
 
 class ExperimentRegistry:
@@ -79,6 +85,7 @@ class ExperimentRegistry:
         stats_aware: bool = False,
         topology_aware: bool = False,
         tuning_aware: bool = False,
+        compiler_aware: bool = False,
     ) -> ExperimentSpec:
         """Register an experiment; raises on duplicate names or aliases."""
         spec = ExperimentSpec(
@@ -89,6 +96,7 @@ class ExperimentRegistry:
             stats_aware=stats_aware,
             topology_aware=topology_aware,
             tuning_aware=tuning_aware,
+            compiler_aware=compiler_aware,
         )
         for key in (name, *aliases):
             if key in self._specs or key in self._aliases:

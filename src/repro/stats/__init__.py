@@ -30,6 +30,8 @@ from repro.stats.intervals import (
     ConfidenceInterval,
     binomial_ci,
     jeffreys_interval,
+    median_interval,
+    midpoint_median,
     normal_quantile,
     samples_for_half_width,
     wilson_interval,
@@ -51,6 +53,8 @@ __all__ = [
     "chunk_layout",
     "chunk_seed",
     "jeffreys_interval",
+    "median_interval",
+    "midpoint_median",
     "normal_quantile",
     "samples_for_half_width",
     "wilson_interval",

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 __all__ = [
     "ConfidenceInterval",
     "binomial_ci",
+    "median_interval",
+    "midpoint_median",
     "wilson_interval",
     "jeffreys_interval",
     "normal_quantile",
@@ -205,6 +207,83 @@ def binomial_ci(
         estimate=successes / trials,
         confidence=confidence,
         method=method,
+    )
+
+
+def _midpoint(ordered: "list[float]") -> float:
+    """Midpoint-interpolated median of an already-sorted list."""
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[middle])
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def midpoint_median(values) -> float:
+    """Midpoint-interpolated sample median (the one idiom, shared).
+
+    The estimator :func:`median_interval` brackets; also reused by the
+    application-evaluation ensemble summaries.
+    """
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("midpoint_median needs at least one value")
+    return _midpoint(ordered)
+
+
+def median_interval(
+    values: "list[float] | tuple[float, ...]",
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> ConfidenceInterval:
+    """Order-statistic (distribution-free) confidence interval for a median.
+
+    The interval between the ``k``-th smallest and ``k``-th largest
+    observations covers the population median with exact probability
+    ``1 - 2 * BinomCDF(k - 1; n, 1/2)`` whatever the underlying
+    distribution; this picks the tightest symmetric pair whose coverage
+    still reaches ``confidence``.  For very small samples even the full
+    range (coverage ``1 - 2^(1-n)``) may fall short of the requested
+    level — the full range is returned then, as the honest spread the
+    sample supports.  The returned interval's ``confidence`` is the
+    *achieved* exact coverage of the chosen pair (>= the request for
+    large samples, below it only when no pair can reach it), never a
+    nominal label a downstream consumer could over-trust.  Used by the
+    application-evaluation layer to report the spread of a top-k device
+    ensemble's fidelity scores.
+    """
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("median_interval needs at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly inside (0, 1)")
+    estimate = _midpoint(ordered)
+    if n == 1:
+        return ConfidenceInterval(
+            low=estimate,
+            high=estimate,
+            estimate=estimate,
+            confidence=0.0,
+            method="median-order",
+        )
+
+    # Exact symmetric-binomial coverage via math.comb: ensembles are
+    # small (top-k devices), so the O(n^2) tail sums are negligible.
+    def _coverage(k: int) -> float:
+        tail = sum(math.comb(n, i) for i in range(k)) / 2.0**n
+        return 1.0 - 2.0 * tail
+
+    best_k = 1
+    for k in range(2, n // 2 + 1):
+        if _coverage(k) >= confidence:
+            best_k = k
+        else:
+            break
+    return ConfidenceInterval(
+        low=min(ordered[best_k - 1], estimate),
+        high=max(ordered[n - best_k], estimate),
+        estimate=estimate,
+        confidence=_coverage(best_k),
+        method="median-order",
     )
 
 

@@ -15,11 +15,12 @@ def isolated_cache(tmp_path, monkeypatch):
 
 
 class TestRegistryContents:
-    def test_all_fourteen_experiments_registered(self):
+    def test_all_fifteen_experiments_registered(self):
         assert set(EXPERIMENTS.names()) == {
             "fig3", "table1", "fig4", "fig6", "sec5c",
             "fig7", "fig8", "fig9", "fig10", "table2",
             "topoyield", "topomcm", "tunedyield", "repairbudget",
+            "appsweep",
         }
 
     def test_aliases_resolve(self):
@@ -29,10 +30,12 @@ class TestRegistryContents:
         assert EXPERIMENTS.get("topologies").name == "topoyield"
         assert EXPERIMENTS.get("repair").name == "tunedyield"
         assert EXPERIMENTS.get("budget").name == "repairbudget"
+        assert EXPERIMENTS.get("appeval").name == "appsweep"
 
     def test_topology_awareness_flags(self):
         assert EXPERIMENTS.get("fig4").topology_aware
         assert EXPERIMENTS.get("topoyield").topology_aware
+        assert EXPERIMENTS.get("appsweep").topology_aware
         assert not EXPERIMENTS.get("fig8").topology_aware
 
     def test_tuning_awareness_flags(self):
@@ -40,6 +43,11 @@ class TestRegistryContents:
         assert EXPERIMENTS.get("tunedyield").tuning_aware
         assert EXPERIMENTS.get("repairbudget").tuning_aware
         assert not EXPERIMENTS.get("fig8").tuning_aware
+
+    def test_compiler_awareness_flags(self):
+        assert EXPERIMENTS.get("fig10").compiler_aware
+        assert EXPERIMENTS.get("appsweep").compiler_aware
+        assert not EXPERIMENTS.get("fig4").compiler_aware
 
     def test_unknown_experiment_suggestion(self):
         with pytest.raises(KeyError, match="did you mean 'fig9'"):
@@ -60,6 +68,10 @@ class TestCLI:
         assert "heavy-hex" in out and "square" in out and "ring" in out
         assert "repair strategies (for --tuning):" in out
         assert "greedy" in out and "anneal" in out
+        assert "benchmarks (for --benchmarks):" in out
+        assert "bv" in out and "hamiltonian" in out
+        assert "routing strategies (for --routing):" in out
+        assert "basic" in out and "noise-aware" in out
 
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
@@ -208,6 +220,37 @@ class TestCLI:
         rows = payload["result"]["rows"]
         assert rows[0]["max_shift_mhz"] == 0.0 and rows[0]["num_repaired"] == 0
         assert any(row["num_repaired"] > 0 for row in rows)
+
+    def test_unknown_benchmark_gets_suggestion(self, capsys):
+        assert main(["run", "fig10", "--benchmarks", "qoaa"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'qoaa'" in err and "did you mean 'qaoa'" in err
+
+    def test_empty_benchmark_list_rejected(self, capsys):
+        assert main(["run", "fig10", "--benchmarks", ","]) == 2
+        assert "at least one name" in capsys.readouterr().err
+
+    def test_unknown_routing_gets_suggestion(self, capsys):
+        assert main(["run", "fig10", "--routing", "noise-awre"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown routing strategy 'noise-awre'" in err
+        assert "did you mean 'noise-aware'" in err
+
+    def test_compiler_flag_warning_for_unaware_experiment(self, capsys):
+        assert main(["run", "table1", "--routing", "basic", "--jobs", "1"]) == 0
+        assert "does not thread benchmark/routing" in capsys.readouterr().err
+
+    def test_run_appsweep_with_compiler_flags(self, capsys):
+        args = [
+            "run", "appsweep", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--benchmarks", "ghz", "--routing", "noise-aware",
+            "--topology", "ring",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "noise-aware" in out and "ghz" in out and "ring" in out
+        # The filtered sweep compiles only the requested axes.
+        assert "qaoa" not in out and "heavy-hex" not in out
 
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 1

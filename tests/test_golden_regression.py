@@ -53,6 +53,7 @@ GOLDEN_PARAMS: dict[str, tuple[int, int | None]] = {
     "topomcm": (7, 400),
     "tunedyield": (7, 120),
     "repairbudget": (7, 200),
+    "appsweep": (7, 200),
 }
 
 #: Recursion cap for the structural summary (pathological cycles guard).

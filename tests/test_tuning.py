@@ -362,6 +362,35 @@ class TestAssemblyIntegration:
         assert tuned.as_fab_yield == untuned.collision_free_yield
         assert sum(1 for c in tuned.chiplets if c.repaired) == tuned.num_repaired
 
+    def test_as_fab_survivors_identical_across_repair_axis(self, cx_model):
+        # The repair stage draws from a spawned child stream, so the
+        # as-fabricated survivors of a tuned bin carry bit-identical
+        # frequencies AND error draws to the untuned bin at the same
+        # seed — a tuned-vs-as-fab comparison isolates the repair
+        # effect instead of resampling every coupling.
+        design = ChipletDesign.build(20)
+        fab = FabricationModel(sigma_ghz=SIGMA)
+        untuned = fabricate_chiplet_bin(
+            design, fab, cx_model, batch_size=200, rng=np.random.default_rng(7)
+        )
+        tuned = fabricate_chiplet_bin(
+            design,
+            fab,
+            cx_model,
+            batch_size=200,
+            rng=np.random.default_rng(7),
+            tuning=TuningOptions(),
+        )
+        assert tuned.num_repaired > 0
+        by_frequencies = {
+            chiplet.frequencies_ghz.tobytes(): chiplet.edge_errors
+            for chiplet in untuned.chiplets
+        }
+        as_fab = [chiplet for chiplet in tuned.chiplets if not chiplet.repaired]
+        assert len(as_fab) == len(untuned.chiplets)
+        for chiplet in as_fab:
+            assert by_frequencies[chiplet.frequencies_ghz.tobytes()] == chiplet.edge_errors
+
     def test_untuned_bin_stream_is_unchanged(self, cx_model):
         design = ChipletDesign.build(10)
         fab = FabricationModel(sigma_ghz=SIGMA)
