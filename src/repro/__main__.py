@@ -20,7 +20,11 @@ Subcommands
     experiments: ``--tuning STRATEGY`` selects the repair strategy
     (``greedy`` or ``anneal``), ``--max-shift-mhz`` bounds the tuner's
     reach and ``--repair-budget`` caps the accepted shifts per qubit
-    (``0`` is a strict no-op baseline).  The compiler flags steer the
+    (``0`` is a strict no-op baseline).  ``--backend NAME`` selects the
+    execution backend (``sequential``, ``threads``, ``processes``,
+    ``shared-memory`` or the cost-based ``auto`` default; the
+    ``REPRO_BACKEND`` environment variable changes the default) —
+    results are bit-identical across backends.  The compiler flags steer the
     application experiments (``fig10``, ``appsweep``):
     ``--benchmarks NAMES`` restricts the compiled benchmark subset
     (comma-separated) and ``--routing NAME`` selects a registered
@@ -29,7 +33,7 @@ Subcommands
     confidence intervals included — to a machine-readable JSON file.
 ``list``
     Show every registered experiment, topology, repair strategy,
-    benchmark and routing strategy.
+    benchmark, routing strategy and execution backend.
 ``cache clear``
     Drop the on-disk result cache.
 
@@ -50,6 +54,7 @@ Examples
     python -m repro run fig10 --routing noise-aware --benchmarks bv,qaoa
     python -m repro run appsweep --jobs 4 --batch 400
     python -m repro run fig4 --dump-json fig4.json
+    python -m repro run fig4 --backend threads --jobs 4
     python -m repro run fig8 --jobs 4 --batch 2000
     python -m repro cache clear
 """
@@ -67,7 +72,7 @@ from repro.analysis.reporting import jsonable
 from repro.circuits.benchmarks import BENCHMARK_NAMES
 from repro.compiler.pipeline import ROUTING_STRATEGIES
 from repro.core.architecture import ARCHITECTURES
-from repro.engine import ExecutionEngine, ResultCache, did_you_mean
+from repro.engine import BACKENDS, ExecutionEngine, ResultCache, did_you_mean
 from repro.stats import StatsOptions
 from repro.tuning import STRATEGIES, TuningOptions
 
@@ -90,6 +95,14 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes (default: all cores; 1 = sequential)",
+    )
+    run.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend (sequential, threads, processes, "
+        "shared-memory, or auto; default: $REPRO_BACKEND or auto; "
+        "results are bit-identical across backends)",
     )
     run.add_argument(
         "--seed", "-s", type=int, default=None, help="master seed override"
@@ -213,6 +226,10 @@ def _cmd_list() -> int:
     width = max((len(name) for name in ROUTING_STRATEGIES.names()), default=0)
     for strategy in ROUTING_STRATEGIES.specs():
         print(f"  {strategy.name:<{width}}  {strategy.description}")
+    print("\nexecution backends (for --backend / $REPRO_BACKEND):")
+    width = max((len(name) for name in BACKENDS.names()), default=0)
+    for backend in BACKENDS.specs():
+        print(f"  {backend.name:<{width}}  {backend.description}")
     return 0
 
 
@@ -232,6 +249,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = EXPERIMENTS.get(args.experiment)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
+        return 2
+
+    if args.backend is not None and args.backend not in BACKENDS:
+        known = ", ".join(BACKENDS.names())
+        suggestion = did_you_mean(args.backend, BACKENDS.names())
+        print(
+            f"unknown backend {args.backend!r}{suggestion} (known: {known})",
+            file=sys.stderr,
+        )
         return 2
 
     if args.topology is not None and args.topology not in ARCHITECTURES:
@@ -336,7 +362,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
-    engine = ExecutionEngine(jobs=args.jobs, use_cache=not args.no_cache)
+    engine = ExecutionEngine(
+        jobs=args.jobs, use_cache=not args.no_cache, backend=args.backend
+    )
     started = time.perf_counter()
     result, text = spec.runner(
         engine,
@@ -365,6 +393,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "routing": args.routing,
             "tuning": jsonable(tuning),
             "elapsed_seconds": elapsed,
+            "engine": {
+                "jobs": engine.stats.jobs,
+                "backend": engine.stats.backend,
+                "workers_used": engine.stats.workers_used,
+                "tasks_total": engine.stats.tasks_total,
+                "tasks_executed": engine.stats.tasks_executed,
+                "tasks_fused": engine.stats.tasks_fused,
+                "fusion_batches": engine.stats.fusion_batches,
+                "cache_hits": engine.stats.cache_hits,
+                "wall_seconds": engine.stats.wall_seconds,
+            },
             "result": jsonable(result),
             "text": text,
         }

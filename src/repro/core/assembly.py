@@ -87,10 +87,19 @@ class FabricatedChiplet:
     edge_errors: dict[tuple[int, int], float]
     repaired: bool = field(default=False, compare=False)
     tuned_qubits: tuple[int, ...] = field(default=(), compare=False)
+    average_error_ghz: float | None = field(default=None, compare=False)
 
     @property
     def average_error(self) -> float:
-        """Average on-chip two-qubit infidelity (used for binning)."""
+        """Average on-chip two-qubit infidelity (used for binning).
+
+        ``fabricate_chiplet_bin`` precomputes this for the whole bin in
+        one contiguous ``mean(axis=1)`` (bit-identical to averaging the
+        dict values per die); directly-constructed chiplets fall back to
+        the per-die reduction.
+        """
+        if self.average_error_ghz is not None:
+            return self.average_error_ghz
         return float(np.mean(list(self.edge_errors.values())))
 
 
@@ -265,36 +274,50 @@ def fabricate_chiplet_bin(
     edge_u = np.asarray([u for u, _ in edges])
     edge_v = np.asarray([v for _, v in edges])
 
-    def _characterise(rows: np.ndarray, sample_rng: np.random.Generator) -> list[list[float]]:
-        # Vectorised detunings for every surviving die and coupling; one
-        # bulk ndarray -> Python-float conversion for the whole batch
-        # (tolist yields the same values as per-element float() casts).
+    def _characterise(rows: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        # Vectorised detunings for every surviving die and coupling; the
+        # whole bin is characterised from one contiguous (dies, edges)
+        # array.
         detunings = np.abs(rows[:, edge_u] - rows[:, edge_v])
-        return cx_model.sample_many(detunings, sample_rng).tolist()
+        return cx_model.sample_many(detunings, sample_rng)
+
+    # Characterise both survivor groups device-major, then build the bin
+    # already speed-sorted: per-die averages come from one bulk
+    # mean(axis=1) over the contiguous error array, and the stable
+    # argsort reproduces exactly what sorting chiplet objects by their
+    # per-die dict average used to produce (same float64 values, same
+    # tie order: as-fabricated dies before repaired ones).
+    as_fab = frequencies[mask]
+    parts: list[np.ndarray] = []
+    part_errors: list[np.ndarray] = []
+    if as_fab.shape[0]:
+        parts.append(as_fab)
+        part_errors.append(_characterise(as_fab, rng))
+    if repaired_rows.shape[0]:
+        parts.append(repaired_rows)
+        part_errors.append(_characterise(repaired_rows, repair_rng))
 
     chiplets: list[FabricatedChiplet] = []
-    as_fab = frequencies[mask]
-    if as_fab.shape[0]:
-        chiplets += [
-            FabricatedChiplet(
-                frequencies_ghz=row_frequencies.copy(),
-                edge_errors=dict(zip(edges, row)),
+    if parts:
+        num_as_fab = as_fab.shape[0]
+        all_rows = np.concatenate(parts, axis=0)
+        all_errors = np.concatenate(part_errors, axis=0)
+        averages = all_errors.mean(axis=1)
+        error_lists = all_errors.tolist()  # one bulk ndarray -> float conversion
+        for position in np.argsort(averages, kind="stable"):
+            position = int(position)
+            is_repaired = position >= num_as_fab
+            chiplets.append(
+                FabricatedChiplet(
+                    frequencies_ghz=all_rows[position].copy(),
+                    edge_errors=dict(zip(edges, error_lists[position])),
+                    repaired=is_repaired,
+                    tuned_qubits=tuple(repaired_tuned[position - num_as_fab])
+                    if is_repaired
+                    else (),
+                    average_error_ghz=float(averages[position]),
+                )
             )
-            for row_frequencies, row in zip(as_fab, _characterise(as_fab, rng))
-        ]
-    if repaired_rows.shape[0]:
-        chiplets += [
-            FabricatedChiplet(
-                frequencies_ghz=row_frequencies.copy(),
-                edge_errors=dict(zip(edges, row)),
-                repaired=True,
-                tuned_qubits=tuple(tuned),
-            )
-            for row_frequencies, row, tuned in zip(
-                repaired_rows, _characterise(repaired_rows, repair_rng), repaired_tuned
-            )
-        ]
-    chiplets.sort(key=lambda c: c.average_error)
     return ChipletBin(
         design=design,
         chiplets=chiplets,

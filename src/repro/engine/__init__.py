@@ -2,12 +2,16 @@
 
 The analysis layer regenerates every figure and table of the paper from
 thousands of independent Monte-Carlo points.  This package turns those
-points into :class:`Task` objects and executes them on a process pool with
+points into :class:`Task` objects and executes them on a pluggable
+backend (:data:`BACKENDS`: ``sequential | threads | processes |
+shared-memory``, default ``auto`` picks per batch by estimated cost) with
 
 * deterministic per-task seed derivation (``np.random.SeedSequence.spawn``),
-  so a parallel run is bit-identical to a sequential run at the same seed;
+  so every backend is bit-identical to a sequential run at the same seed;
 * an on-disk content-addressed result cache keyed on task name, parameters,
   seed and code version;
+* task fusion on pooled backends (small same-function tasks coalesce into
+  super-tasks; per-subtask durations and cache entries survive);
 * wall-clock / throughput instrumentation;
 * a sequential in-process fallback (``jobs=1`` or pickling-hostile tasks).
 
@@ -19,6 +23,16 @@ executor duck-typed (anything implementing
 never construct runners or caches themselves.
 """
 
+from repro.engine.backends import (
+    BACKENDS,
+    Backend,
+    BackendSpec,
+    ProcessBackend,
+    SequentialBackend,
+    SharedMemoryBackend,
+    ThreadBackend,
+    get_backend,
+)
 from repro.engine.cache import ResultCache, stable_token
 from repro.engine.dispatch import run_calls
 from repro.engine.registry import ExperimentRegistry, ExperimentSpec, did_you_mean
@@ -29,6 +43,14 @@ from repro.engine.task import Task, TaskGraph
 __all__ = [
     "ExecutionEngine",
     "EngineStats",
+    "Backend",
+    "BackendSpec",
+    "BACKENDS",
+    "get_backend",
+    "SequentialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SharedMemoryBackend",
     "ResultCache",
     "stable_token",
     "ExperimentRegistry",

@@ -1,0 +1,527 @@
+"""Pluggable execution backends for the engine's cache-miss batches.
+
+The :class:`~repro.engine.runner.ExecutionEngine` decides *what* to run
+(cache misses, fused super-tasks) and the backend decides *how*: in the
+calling process, on a thread pool, on a process pool, or on a process
+pool fed through ``multiprocessing.shared_memory``.  Every backend
+executes the same ordered list of :class:`Call` objects and returns an
+:class:`ExecutionReport` aligned with it, so the engine's results are
+bit-identical across backends — each task already carries its own
+spawn-derived seed, and no backend reorders or re-seeds anything.
+
+Backends are registered by name in :data:`BACKENDS`, which mirrors the
+``ARCHITECTURES`` / ``ROUTING_STRATEGIES`` registries: lookups by unknown
+name raise a ``KeyError`` with a did-you-mean suggestion, and the CLI
+lists every entry.  ``auto`` is a registered *mode*, not a class — the
+engine resolves it per batch from the estimated task cost (see
+:meth:`ExecutionEngine._select_backend`).
+
+Failure semantics (kept from the historical process-pool runner): a task
+exception always propagates; the sequential fallback is reserved for
+infrastructure problems only — an unpicklable task function, an
+environment that refuses to start processes, or a pool that breaks
+before any worker ever ran.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.engine.registry import did_you_mean
+
+__all__ = [
+    "Call",
+    "ExecutionReport",
+    "Backend",
+    "fn_picklable",
+    "run_fused",
+    "SequentialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SharedMemoryBackend",
+    "BackendSpec",
+    "BackendRegistry",
+    "BACKENDS",
+    "AUTO_BACKEND",
+    "get_backend",
+]
+
+#: Name of the cost-based per-batch selection mode (not a Backend class).
+AUTO_BACKEND = "auto"
+
+#: Arrays smaller than this are cheaper to pickle than to export.
+_SHARED_MIN_BYTES = 16 * 1024
+
+
+@dataclass(frozen=True)
+class Call:
+    """One unit of backend work: ``fn(**kwargs)`` plus its task family.
+
+    ``family`` is diagnostic only (worker-death error messages); the
+    engine owns the mapping back to task indices.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: dict[str, Any]
+    family: str = "task"
+
+
+@dataclass
+class ExecutionReport:
+    """Per-call outcomes of one backend batch, aligned with the input.
+
+    ``workers`` holds opaque worker identifiers (PIDs for processes,
+    thread idents for threads) — its size is the number of distinct
+    workers that actually executed something.
+    """
+
+    results: list[Any]
+    seconds: list[float]
+    workers: set[int] = field(default_factory=set)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The pluggable execution contract.
+
+    ``execute`` runs every call (order of completion is free, order of
+    the report is not) and must let task exceptions propagate.
+    ``pooled`` tells the engine whether task fusion can amortise a
+    per-batch pool cost (False for the in-process backend).
+    """
+
+    name: str
+    pooled: bool
+
+    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
+        """Run every call; report results/seconds in input order."""
+        ...
+
+
+def _invoke(fn: Callable[..., Any], kwargs: dict[str, Any]) -> tuple[float, int, Any]:
+    """Module-level trampoline so task invocations pickle cleanly.
+
+    Returns ``(seconds, worker_pid, result)`` — the worker times its own
+    execution so per-task-family statistics stay accurate across
+    processes, and reports its PID so the engine can count the workers
+    that *actually* ran tasks (a lazily-filled pool may use fewer
+    processes than it was configured with).
+    """
+    started = time.perf_counter()
+    result = fn(**kwargs)
+    return time.perf_counter() - started, os.getpid(), result
+
+
+def _invoke_in_thread(
+    fn: Callable[..., Any], kwargs: dict[str, Any]
+) -> tuple[float, int, Any]:
+    """Thread-pool trampoline: like :func:`_invoke` but identifies the
+    executing *thread*, so ``workers_used`` reflects thread concurrency."""
+    started = time.perf_counter()
+    result = fn(**kwargs)
+    return time.perf_counter() - started, threading.get_ident(), result
+
+
+def run_fused(fn: Callable[..., Any], kwargs_list: list[dict[str, Any]]) -> list[tuple[float, Any]]:
+    """Execute a fused super-task: every subtask in order, individually timed.
+
+    The engine unpacks the ``(seconds, result)`` pairs back onto the
+    original task indices, so per-family statistics and cache entries
+    stay per-subtask even though the pool only saw one submission.
+    Bit-identity is free: each subtask's kwargs carry its own
+    spawn-derived seed, and execution order inside the group matches the
+    sequential order.
+    """
+    out: list[tuple[float, Any]] = []
+    for kwargs in kwargs_list:
+        started = time.perf_counter()
+        result = fn(**kwargs)
+        out.append((time.perf_counter() - started, result))
+    return out
+
+
+def _run_serial(calls: Sequence[Call]) -> ExecutionReport:
+    """In-process execution of a call batch (also the infra fallback)."""
+    results: list[Any] = []
+    seconds: list[float] = []
+    for call in calls:
+        started = time.perf_counter()
+        results.append(call.fn(**call.kwargs))
+        seconds.append(time.perf_counter() - started)
+    return ExecutionReport(results=results, seconds=seconds, workers={os.getpid()})
+
+
+def fn_picklable(fn: Callable[..., Any]) -> bool:
+    """Cheap up-front check that a function can cross process boundaries.
+
+    Functions pickle by reference, so this catches lambdas and closures
+    without serialising any (potentially large) parameters.
+    """
+    try:
+        pickle.dumps(fn)
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return False
+    return True
+
+
+def _fns_picklable(calls: Sequence[Call]) -> bool:
+    return all(fn_picklable(fn) for fn in {call.fn for call in calls})
+
+
+def _workers_can_start() -> bool:
+    """Canary probe: can this environment run a worker process at all?
+
+    Used only on the rare :class:`BrokenProcessPool` path to tell a
+    sandbox that refuses subprocesses (fall back sequentially) apart from
+    a worker killed by its task (surface the failure instead of
+    re-running the killer in the parent).
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(int, 0).result(timeout=30) == 0
+    except Exception:
+        return False
+
+
+class SequentialBackend:
+    """In-process, in-order execution (the determinism reference)."""
+
+    name = "sequential"
+    pooled = False
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = 1
+
+    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
+        return _run_serial(calls)
+
+
+class ThreadBackend:
+    """``ThreadPoolExecutor`` execution — no pickling, shared memory for
+    free, cheap startup.  Pays the GIL on pure-Python tasks, but numpy
+    kernels release it, so small numeric batches often beat a process
+    pool whose startup cost they cannot amortise."""
+
+    name = "threads"
+    pooled = True
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = max(1, jobs)
+
+    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
+        report = ExecutionReport(results=[None] * len(calls), seconds=[0.0] * len(calls))
+        with ThreadPoolExecutor(max_workers=min(self.jobs, len(calls))) as pool:
+            futures = [
+                pool.submit(_invoke_in_thread, call.fn, dict(call.kwargs))
+                for call in calls
+            ]
+            for index, future in enumerate(futures):
+                seconds, ident, result = future.result()
+                report.seconds[index] = seconds
+                report.results[index] = result
+                report.workers.add(ident)
+        return report
+
+
+class ProcessBackend:
+    """``ProcessPoolExecutor`` execution — true parallelism at the cost
+    of pool startup and parameter/result pickling."""
+
+    name = "processes"
+    pooled = True
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = max(1, jobs)
+
+    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
+        if not _fns_picklable(calls):
+            return _run_serial(calls)
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(calls)))
+        except OSError:
+            return _run_serial(calls)  # process creation refused
+        report = ExecutionReport(results=[None] * len(calls), seconds=[0.0] * len(calls))
+        broken = False
+        try:
+            with pool:
+                futures = [
+                    pool.submit(_invoke, call.fn, dict(call.kwargs)) for call in calls
+                ]
+                for index, future in enumerate(futures):
+                    try:
+                        seconds, pid, result = future.result()
+                    except BrokenProcessPool as exc:
+                        if _workers_can_start():
+                            # The environment can run workers, so the pool
+                            # broke because a task killed its worker (OOM,
+                            # native crash).  Re-running in the parent would
+                            # repeat the damage; surface it.  The broken
+                            # pool cannot say WHICH task died, so name the
+                            # batch.
+                            families = sorted({call.family for call in calls})
+                            raise RuntimeError(
+                                "a worker process died while executing this "
+                                f"batch (task families: {', '.join(families)}); "
+                                "not retrying sequentially (a task may have "
+                                "exhausted memory or crashed native code)"
+                            ) from exc
+                        broken = True
+                        break
+                    report.seconds[index] = seconds
+                    report.results[index] = result
+                    report.workers.add(pid)
+        except BrokenProcessPool:
+            broken = True  # raised by pool shutdown itself
+        if broken:
+            # Workers cannot start at all (sandboxed environment) — run
+            # in-process.  Task exceptions propagate untouched.
+            return _run_serial(calls)
+        return report
+
+
+@dataclass(frozen=True)
+class _SharedArrayRef:
+    """Picklable descriptor of an exported array: a few bytes crossing
+    the process boundary instead of the array itself."""
+
+    block: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def _export_value(value: Any, path: tuple, refs: dict, blocks: list) -> Any:
+    """Replace large numeric arrays in ``value`` with ``None`` placeholders,
+    recording a :class:`_SharedArrayRef` per exported array under its
+    structural path (descends into dicts/lists/tuples, so fused
+    ``kwargs_list`` payloads export too)."""
+    if (
+        isinstance(value, np.ndarray)
+        and value.dtype.kind in "fiub"
+        and value.nbytes >= _SHARED_MIN_BYTES
+    ):
+        data = np.ascontiguousarray(value)
+        block = shared_memory.SharedMemory(create=True, size=data.nbytes)
+        np.ndarray(data.shape, data.dtype, buffer=block.buf)[...] = data
+        blocks.append(block)
+        refs[path] = _SharedArrayRef(block.name, data.shape, data.dtype.str)
+        return None
+    if isinstance(value, dict):
+        return {
+            key: _export_value(item, path + (key,), refs, blocks)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        rebuilt = [
+            _export_value(item, path + (index,), refs, blocks)
+            for index, item in enumerate(value)
+        ]
+        return rebuilt if isinstance(value, list) else tuple(rebuilt)
+    return value
+
+
+def _set_at_path(root: Any, path: tuple, value: Any) -> None:
+    node = root
+    for key in path[:-1]:
+        node = node[key]
+    node[path[-1]] = value
+
+
+#: Blocks this process has attached to (worker side); kept open so task
+#: results that reference the buffers survive until the result is
+#: pickled back.  Worker processes die with their pool, bounding the map.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(ref: _SharedArrayRef) -> np.ndarray:
+    block = _ATTACHED.get(ref.block)
+    if block is None:
+        block = shared_memory.SharedMemory(name=ref.block)
+        try:
+            # Attaching registers the block with the resource tracker as
+            # if this process owned it; the parent is the owner and
+            # unlinks it, so unregister to avoid a double-unlink warning.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(block._name, "shared_memory")  # noqa: SLF001
+        except Exception:
+            pass
+        _ATTACHED[ref.block] = block
+    array = np.ndarray(ref.shape, np.dtype(ref.dtype), buffer=block.buf)
+    array.flags.writeable = False  # inputs are shared: tasks must copy to write
+    return array
+
+
+def _detach_all() -> None:
+    for block in _ATTACHED.values():
+        try:
+            block.close()
+        except Exception:
+            pass
+    _ATTACHED.clear()
+
+
+def _invoke_shared(fn: Callable[..., Any], kwargs: dict[str, Any], refs: dict) -> Any:
+    """Worker-side trampoline: re-attach exported arrays, then run."""
+    for path, ref in refs.items():
+        _set_at_path(kwargs, path, _attach(ref))
+    return fn(**kwargs)
+
+
+class SharedMemoryBackend(ProcessBackend):
+    """Process pool fed through ``multiprocessing.shared_memory``.
+
+    Large numeric arrays in task kwargs — e.g. a ``(batch, num_qubits)``
+    frequency array — are copied once into a named shared block and
+    cross the process boundary as a tiny descriptor instead of being
+    pickled per task; workers map the block and hand the task a
+    read-only zero-copy view.  Everything else (failure semantics,
+    ordering, trampolines) is inherited from :class:`ProcessBackend`.
+    """
+
+    name = "shared-memory"
+
+    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
+        blocks: list[shared_memory.SharedMemory] = []
+        wrapped: list[Call] = []
+        for call in calls:
+            refs: dict = {}
+            kwargs = _export_value(dict(call.kwargs), (), refs, blocks)
+            if refs:
+                wrapped.append(
+                    Call(
+                        fn=_invoke_shared,
+                        kwargs={"fn": call.fn, "kwargs": kwargs, "refs": refs},
+                        family=call.family,
+                    )
+                )
+            else:
+                wrapped.append(call)
+        try:
+            return super().execute(wrapped)
+        finally:
+            _detach_all()  # only populated here on the sequential fallback
+            for block in blocks:
+                try:
+                    block.close()
+                    block.unlink()
+                except Exception:
+                    pass
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A named, registered execution backend.
+
+    Attributes
+    ----------
+    name:
+        Registry/CLI identifier.
+    description:
+        One-line summary shown by ``python -m repro list``.
+    factory:
+        ``factory(jobs) -> Backend``; ``None`` for selection modes the
+        engine resolves itself (``auto``).
+    """
+
+    name: str
+    description: str
+    factory: Callable[[int], Backend] | None
+
+
+class BackendRegistry:
+    """Name -> :class:`BackendSpec` mapping with did-you-mean lookups."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, BackendSpec] = {}
+
+    def register(self, spec: BackendSpec) -> None:
+        if spec.name in self._specs:
+            raise ValueError(f"backend {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+
+    def names(self) -> list[str]:
+        return list(self._specs)
+
+    def specs(self) -> list[BackendSpec]:
+        return list(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def get(self, name: str) -> BackendSpec:
+        if name not in self._specs:
+            known = ", ".join(self.names())
+            suggestion = did_you_mean(name, self.names())
+            raise KeyError(
+                f"unknown backend {name!r}{suggestion} (known: {known})"
+            )
+        return self._specs[name]
+
+
+#: Registered execution backends (plus the ``auto`` selection mode).
+BACKENDS = BackendRegistry()
+BACKENDS.register(
+    BackendSpec(
+        name=AUTO_BACKEND,
+        description="pick a backend per batch from the estimated task cost "
+        "(sequential for tiny batches, threads for small ones, processes "
+        "for heavy ones); the default",
+        factory=None,
+    )
+)
+BACKENDS.register(
+    BackendSpec(
+        name=SequentialBackend.name,
+        description="in-process, in-order execution (the determinism reference)",
+        factory=SequentialBackend,
+    )
+)
+BACKENDS.register(
+    BackendSpec(
+        name=ThreadBackend.name,
+        description="thread pool: no pickling, cheap startup; numpy kernels "
+        "release the GIL",
+        factory=ThreadBackend,
+    )
+)
+BACKENDS.register(
+    BackendSpec(
+        name=ProcessBackend.name,
+        description="process pool: true parallelism, pays pool startup and "
+        "pickling",
+        factory=ProcessBackend,
+    )
+)
+BACKENDS.register(
+    BackendSpec(
+        name=SharedMemoryBackend.name,
+        description="process pool passing large arrays zero-copy via "
+        "multiprocessing.shared_memory",
+        factory=SharedMemoryBackend,
+    )
+)
+
+
+def get_backend(name: str, jobs: int = 1) -> Backend:
+    """Instantiate a registered backend by name.
+
+    ``auto`` cannot be instantiated — it is a per-batch selection mode
+    resolved by the engine; asking for it here is a programming error.
+    """
+    spec = BACKENDS.get(name)
+    if spec.factory is None:
+        raise ValueError(
+            f"backend {name!r} is a selection mode, not an executable backend; "
+            "the engine resolves it per batch"
+        )
+    return spec.factory(jobs)

@@ -1,13 +1,19 @@
-"""The execution engine: parallel task runner with caching and stats.
+"""The execution engine: pluggable-backend task runner with caching and stats.
 
 :class:`ExecutionEngine` executes :class:`~repro.engine.task.Task` batches
-on a ``concurrent.futures.ProcessPoolExecutor`` and falls back to an
-in-process sequential loop when ``jobs=1``, when a batch is trivially
-small, when the task *function* refuses to pickle (lambdas, closures —
-detected up front), or when the environment cannot start worker
-processes.  Unpicklable *parameter values* are a caller error and raise.
-Because every task carries its own pre-derived seed, the two backends
-produce bit-identical results.
+on one of the registered execution backends
+(:mod:`repro.engine.backends`): ``sequential`` in-process, ``threads``,
+``processes`` or ``shared-memory``, selected by name or — the default —
+per batch by the ``auto`` mode from the estimated task cost.  Because
+every task carries its own pre-derived seed, all backends produce
+bit-identical results.
+
+Small cache-miss batches headed for a pool are *fused*: consecutive
+same-function tasks are coalesced into super-tasks
+(:func:`repro.engine.backends.run_fused`) so pool startup and submission
+overhead amortise over many tasks.  Fusion changes scheduling only —
+subtasks keep their own kwargs (and seeds), their own measured duration
+and their own cache entry.
 
 The engine deliberately exposes a small duck-typed surface —
 :meth:`ExecutionEngine.map_calls` — that the ``core`` sweep entry points
@@ -18,33 +24,40 @@ from __future__ import annotations
 
 import inspect
 import os
-import pickle
 import time
 from collections import defaultdict
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.engine.backends import (
+    AUTO_BACKEND,
+    BACKENDS,
+    Call,
+    fn_picklable,
+    get_backend,
+    run_fused,
+)
 from repro.engine.cache import ResultCache, code_version_token
 from repro.engine.task import Task, TaskGraph
 
 __all__ = ["ExecutionEngine", "EngineStats"]
 
+#: Environment variable naming the default backend (the CLI's --backend).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
 
-def _workers_can_start() -> bool:
-    """Canary probe: can this environment run a worker process at all?
+# Auto-mode thresholds (seconds).  Estimated batch work below the first
+# stays in-process (nothing amortises), below the second goes to threads
+# (pool startup is ~free, numpy releases the GIL), above it to processes.
+_AUTO_SEQUENTIAL_BELOW = 0.05
+_AUTO_THREADS_BELOW = 0.5
 
-    Used only on the rare :class:`BrokenProcessPool` path to tell a
-    sandbox that refuses subprocesses (fall back sequentially) apart from
-    a worker killed by its task (surface the failure instead of
-    re-running the killer in the parent).
-    """
-    try:
-        with ProcessPoolExecutor(max_workers=1) as pool:
-            return pool.submit(int, 0).result(timeout=30) == 0
-    except Exception:
-        return False
+#: Per-task cost above which fusion stops helping (pool overhead is
+#: already amortised by the task itself).
+_FUSION_MAX_TASK_SECONDS = 0.1
+
+#: Fused super-task batches per worker: >1 keeps the pool load-balanced
+#: when subtask durations are uneven.
+_FUSION_WAVES = 2
 
 
 def _fn_cache_safe(fn: Callable[..., Any]) -> bool:
@@ -63,20 +76,6 @@ def _fn_cache_safe(fn: Callable[..., Any]) -> bool:
     )
 
 
-def _invoke(fn: Callable[..., Any], kwargs: dict[str, Any]) -> tuple[float, int, Any]:
-    """Module-level trampoline so task invocations pickle cleanly.
-
-    Returns ``(seconds, worker_pid, result)`` — the worker times its own
-    execution so per-task-family statistics stay accurate across
-    processes, and reports its PID so the engine can count the workers
-    that *actually* ran tasks (a lazily-filled pool may use fewer
-    processes than it was configured with).
-    """
-    started = time.perf_counter()
-    result = fn(**kwargs)
-    return time.perf_counter() - started, os.getpid(), result
-
-
 @dataclass
 class EngineStats:
     """Wall-clock / throughput instrumentation for one engine instance.
@@ -84,18 +83,27 @@ class EngineStats:
     Attributes
     ----------
     jobs:
-        Worker processes the engine was configured with.
+        Workers the engine was configured with.
     workers_used:
-        Largest number of *distinct* worker processes observed executing
-        any one batch (1 when every batch took the sequential in-process
-        path).  This is what benchmark reports should publish alongside
-        the *configured* ``jobs`` — the two differ whenever the pool
-        falls back sequentially, a batch is smaller than the pool, or a
-        lazily-filled pool serves the whole batch from fewer processes.
+        Largest number of *distinct* workers (processes or threads)
+        observed executing any one batch (1 when every batch took the
+        sequential in-process path).  This is what benchmark reports
+        should publish alongside the *configured* ``jobs`` — the two
+        differ whenever the pool falls back sequentially, a batch is
+        smaller than the pool, or a lazily-filled pool serves the whole
+        batch from fewer processes.
+    backend:
+        The configured backend name (``auto`` when the engine selects
+        per batch).
     tasks_total:
         Tasks submitted (including cache hits).
     tasks_executed:
         Tasks that actually ran (cache misses).
+    tasks_fused:
+        Executed tasks that travelled to their worker inside a fused
+        super-task (0 on the sequential path).
+    fusion_batches:
+        Fused super-tasks submitted to pools.
     cache_hits:
         Tasks answered from the on-disk cache.
     wall_seconds:
@@ -109,8 +117,11 @@ class EngineStats:
 
     jobs: int = 1
     workers_used: int = 0
+    backend: str = AUTO_BACKEND
     tasks_total: int = 0
     tasks_executed: int = 0
+    tasks_fused: int = 0
+    fusion_batches: int = 0
     cache_hits: int = 0
     wall_seconds: float = 0.0
     seconds_by_family: dict[str, float] = field(default_factory=lambda: defaultdict(float))
@@ -128,23 +139,32 @@ class EngineStats:
         return (
             f"{self.tasks_total} tasks ({self.cache_hits} cached, "
             f"{self.tasks_executed} executed) in {self.wall_seconds:.2f}s "
-            f"on {self.jobs} worker(s) — {self.tasks_per_second:.1f} tasks/s"
+            f"on {self.jobs} worker(s) [{self.backend}] — "
+            f"{self.tasks_per_second:.1f} tasks/s"
         )
 
 
 class ExecutionEngine:
-    """Cached, seeded, multi-process task runner.
+    """Cached, seeded task runner over pluggable execution backends.
 
     Parameters
     ----------
     jobs:
-        Worker processes; ``None`` uses every available core, ``1`` forces
-        the sequential in-process backend.
+        Workers; ``None`` uses every available core, ``1`` forces the
+        sequential in-process backend regardless of ``backend``.
     cache:
         Result cache instance; built at the default location when omitted
         and ``use_cache`` is set.
     use_cache:
         Master switch for the on-disk cache (the CLI's ``--no-cache``).
+    backend:
+        Execution backend name (see :data:`repro.engine.backends.BACKENDS`);
+        ``None`` reads the ``REPRO_BACKEND`` environment variable and
+        falls back to ``auto``.  Unknown names raise a ``KeyError`` with
+        a did-you-mean suggestion.
+    fuse:
+        Enable task fusion for pooled backends (on by default; results
+        are bit-identical either way).
     """
 
     def __init__(
@@ -152,10 +172,18 @@ class ExecutionEngine:
         jobs: int | None = None,
         cache: ResultCache | None = None,
         use_cache: bool = True,
+        backend: str | None = None,
+        fuse: bool = True,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = (cache if cache is not None else ResultCache()) if use_cache else None
-        self.stats = EngineStats(jobs=self.jobs)
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV_VAR) or AUTO_BACKEND
+        BACKENDS.get(backend)  # validate early: KeyError carries did-you-mean
+        self.backend = backend
+        self.fuse = fuse
+        self.stats = EngineStats(jobs=self.jobs, backend=backend)
+        self._family_counts: dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------ #
     # Flat batches
@@ -218,7 +246,23 @@ class ExecutionEngine:
         self.stats.wall_seconds += elapsed
         for index, seconds in durations.items():
             self.stats.seconds_by_family[tasks[index].name] += seconds
+            self._family_counts[tasks[index].name] += 1
         return results
+
+    # ------------------------------------------------------------------ #
+    # Backend selection + fusion
+    # ------------------------------------------------------------------ #
+    def _estimated_cost(self, tasks: Sequence[Task], pending: list[int]) -> float | None:
+        """Mean seconds per executed task over the pending families, from
+        this engine's own history; ``None`` until every family has run."""
+        families = {tasks[index].name for index in pending}
+        costs = []
+        for family in families:
+            count = self._family_counts.get(family, 0)
+            if count == 0:
+                return None
+            costs.append(self.stats.seconds_by_family[family] / count)
+        return max(costs) if costs else None
 
     def _execute(
         self, tasks: Sequence[Task], pending: list[int], results: list[Any]
@@ -226,88 +270,139 @@ class ExecutionEngine:
         """Run the cache misses; returns per-task execution seconds by index.
 
         Exceptions raised by a task function always propagate to the
-        caller (from either backend).  The sequential fallback is reserved
+        caller (from any backend).  The sequential fallback is reserved
         for infrastructure problems only: an unpicklable task function
         (detected up front) or an environment that cannot sustain worker
-        processes.
+        processes (see :mod:`repro.engine.backends`).
         """
         durations: dict[int, float] = {}
         if not pending:
             return durations
-        if self.jobs > 1 and len(pending) > 1 and self._fns_picklable(tasks, pending):
-            try:
-                pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
-            except OSError:
-                pool = None  # process creation refused: sequential fallback
-            if pool is not None:
-                broken = False
-                worker_pids: set[int] = set()
-                try:
-                    with pool:
-                        futures = {
-                            index: pool.submit(
-                                _invoke, tasks[index].fn, dict(tasks[index].params)
-                            )
-                            for index in pending
-                        }
-                        for index, future in futures.items():
-                            try:
-                                durations[index], pid, results[index] = future.result()
-                                worker_pids.add(pid)
-                            except BrokenProcessPool as exc:
-                                if _workers_can_start():
-                                    # The environment can run workers, so
-                                    # the pool broke because a task killed
-                                    # its worker (OOM, native crash).
-                                    # Re-running in the parent would
-                                    # repeat the damage; surface it.  The
-                                    # broken pool cannot say WHICH task
-                                    # died, so name the batch.
-                                    families = sorted(
-                                        {tasks[i].name for i in pending}
-                                    )
-                                    raise RuntimeError(
-                                        "a worker process died while "
-                                        "executing this batch (task "
-                                        f"families: {', '.join(families)}); "
-                                        "not retrying sequentially (a task "
-                                        "may have exhausted memory or "
-                                        "crashed native code)"
-                                    ) from exc
-                                # Workers cannot start at all (sandboxed
-                                # environment) — use the sequential
-                                # backend.  Task exceptions propagate
-                                # untouched.
-                                broken = True
-                                break
-                except BrokenProcessPool:
-                    broken = True  # raised by pool shutdown itself
-                if not broken:
-                    self.stats.workers_used = max(
-                        self.stats.workers_used, len(worker_pids)
-                    )
-                    return durations
-                durations.clear()
-        self.stats.workers_used = max(self.stats.workers_used, 1)
-        for index in pending:
-            started = time.perf_counter()
-            results[index] = tasks[index].run()
-            durations[index] = time.perf_counter() - started
+        pending = list(pending)
+
+        cost = self._estimated_cost(tasks, pending)
+        name = self.backend
+        if name == AUTO_BACKEND:
+            name, cost = self._auto_select(tasks, pending, durations, results, cost)
+            if not pending:  # the probe consumed the whole batch
+                self.stats.workers_used = max(self.stats.workers_used, 1)
+                return durations
+        if self.jobs <= 1 or len(pending) <= 1:
+            name = "sequential"
+        if name in ("processes", "shared-memory") and not all(
+            fn_picklable(fn) for fn in {tasks[index].fn for index in pending}
+        ):
+            # Unpicklable task *functions* (lambdas, closures) cannot reach a
+            # process pool; fused calls would smuggle them past the backend's
+            # own check as parameters, so downgrade before planning.
+            name = "sequential"
+
+        backend = get_backend(name, jobs=self.jobs)
+        calls, groups = self._plan_calls(tasks, pending, backend.pooled, cost)
+        report = backend.execute(calls)
+        self.stats.workers_used = max(self.stats.workers_used, len(report.workers))
+
+        for position, group in enumerate(groups):
+            if len(group) == 1:
+                index = group[0]
+                durations[index] = report.seconds[position]
+                results[index] = report.results[position]
+            else:
+                self.stats.tasks_fused += len(group)
+                self.stats.fusion_batches += 1
+                for (seconds, result), index in zip(report.results[position], group):
+                    durations[index] = seconds
+                    results[index] = result
         return durations
 
-    @staticmethod
-    def _fns_picklable(tasks: Sequence[Task], pending: list[int]) -> bool:
-        """Cheap up-front check that every task function crosses processes.
+    def _auto_select(
+        self,
+        tasks: Sequence[Task],
+        pending: list[int],
+        durations: dict[int, float],
+        results: list[Any],
+        cost: float | None,
+    ) -> tuple[str, float | None]:
+        """Resolve ``auto`` to a concrete backend from the estimated task cost.
 
-        Functions pickle by reference, so this catches lambdas and
-        closures without serialising any (potentially large) parameters.
+        When no family history exists yet, the first pending task is
+        *probed* in-process (its result and duration count normally) and
+        its duration seeds the estimate — one task is a sunk sequential
+        cost either way.
         """
-        for fn in {tasks[index].fn for index in pending}:
-            try:
-                pickle.dumps(fn)
-            except (pickle.PicklingError, AttributeError, TypeError):
-                return False
-        return True
+        if self.jobs <= 1 or len(pending) <= 1:
+            return "sequential", cost
+        if cost is None:
+            index = pending.pop(0)
+            started = time.perf_counter()
+            results[index] = tasks[index].run()
+            cost = time.perf_counter() - started
+            durations[index] = cost
+        remaining = cost * len(pending)
+        if remaining < _AUTO_SEQUENTIAL_BELOW:
+            return "sequential", cost
+        if remaining < _AUTO_THREADS_BELOW:
+            return "threads", cost
+        return "processes", cost
+
+    def _plan_calls(
+        self,
+        tasks: Sequence[Task],
+        pending: list[int],
+        pooled: bool,
+        cost: float | None,
+    ) -> tuple[list[Call], list[list[int]]]:
+        """Build the backend call list, fusing small tasks for pooled backends.
+
+        Returns ``(calls, groups)`` where ``groups[i]`` lists the task
+        indices call ``i`` answers (singletons are plain calls, larger
+        groups are :func:`run_fused` super-tasks).  Only consecutive
+        same-function tasks fuse, and each super-task preserves the
+        sequential execution order of its subtasks.
+        """
+        fusable = (
+            self.fuse
+            and pooled
+            and len(pending) > self.jobs
+            and (cost is None or cost < _FUSION_MAX_TASK_SECONDS)
+        )
+        target = -(-len(pending) // (self.jobs * _FUSION_WAVES)) if fusable else 1
+
+        calls: list[Call] = []
+        groups: list[list[int]] = []
+        run: list[int] = []
+
+        def _flush() -> None:
+            while run:
+                group, run[:] = run[:target], run[target:]
+                if len(group) == 1:
+                    index = group[0]
+                    calls.append(
+                        Call(
+                            fn=tasks[index].fn,
+                            kwargs=dict(tasks[index].params),
+                            family=tasks[index].name,
+                        )
+                    )
+                else:
+                    calls.append(
+                        Call(
+                            fn=run_fused,
+                            kwargs={
+                                "fn": tasks[group[0]].fn,
+                                "kwargs_list": [dict(tasks[i].params) for i in group],
+                            },
+                            family=tasks[group[0]].name,
+                        )
+                    )
+                groups.append(group)
+
+        for index in pending:
+            if run and tasks[index].fn is not tasks[run[-1]].fn:
+                _flush()
+            run.append(index)
+        _flush()
+        return calls, groups
 
     # ------------------------------------------------------------------ #
     # Graphs

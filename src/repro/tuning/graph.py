@@ -138,6 +138,51 @@ class CollisionGraph:
         return self.edge_violations(frequencies) + self.triple_violations(frequencies)
 
     # ------------------------------------------------------------------ #
+    # Criterion evaluation (device-major: whole batch, one pass)
+    # ------------------------------------------------------------------ #
+    def batch_total_violations(self, frequencies: np.ndarray) -> np.ndarray:
+        """Per-device violated-criteria counts for a ``(batch, num_qubits)``
+        array — every criterion extracted across the batch dimension in one
+        vectorised pass.
+
+        Row ``i`` equals ``total_violations(frequencies[i])`` exactly (the
+        same comparisons summed in a different order over integers), so
+        the batch repair driver can screen every collided device up front
+        instead of paying one Python-level evaluation per die.
+        """
+        freqs = np.asarray(frequencies, dtype=float)
+        if freqs.ndim == 1:
+            freqs = freqs[np.newaxis, :]
+        counts = np.zeros(freqs.shape[0], dtype=np.int64)
+        th = self.thresholds
+        if self.edge_control.shape[0]:
+            fi = freqs[:, self.edge_control]
+            fj = freqs[:, self.edge_target]
+            ai = self.alpha[self.edge_control][np.newaxis, :]
+            aj = self.alpha[self.edge_target][np.newaxis, :]
+            counts += (np.abs(fi - fj) < th.type1_ghz).sum(axis=1)
+            counts += (np.abs(fi + ai / 2.0 - fj) < th.type2_ghz).sum(axis=1)
+            counts += (
+                (np.abs(fi - (fj + aj)) < th.type3_ghz)
+                | (np.abs(fj - (fi + ai)) < th.type3_ghz)
+            ).sum(axis=1)
+            counts += ((fj < fi + ai) | (fi < fj)).sum(axis=1)
+        if self.triple_control.shape[0]:
+            fi = freqs[:, self.triple_control]
+            fj = freqs[:, self.triple_a]
+            fk = freqs[:, self.triple_b]
+            ai = self.alpha[self.triple_control][np.newaxis, :]
+            aj = self.alpha[self.triple_a][np.newaxis, :]
+            ak = self.alpha[self.triple_b][np.newaxis, :]
+            counts += (np.abs(fj - fk) < th.type5_ghz).sum(axis=1)
+            counts += (
+                (np.abs(fj - (fk + ak)) < th.type6_ghz)
+                | (np.abs(fk - (fj + aj)) < th.type6_ghz)
+            ).sum(axis=1)
+            counts += (np.abs(2.0 * fi + ai - (fj + fk)) < th.type7_ghz).sum(axis=1)
+        return counts
+
+    # ------------------------------------------------------------------ #
     # Locality
     # ------------------------------------------------------------------ #
     def touched(self, qubit: int) -> tuple[np.ndarray, np.ndarray]:

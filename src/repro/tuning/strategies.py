@@ -119,8 +119,15 @@ class RepairStrategy(Protocol):
         frequencies: np.ndarray,
         tuner: TunerModel,
         rng: np.random.Generator,
+        initial_violations: int | None = None,
     ) -> RepairOutcome:
-        """Repair one device; must uphold the never-worse invariant."""
+        """Repair one device; must uphold the never-worse invariant.
+
+        ``initial_violations``, when given, is the device's precomputed
+        violated-criteria count (the batch driver screens every collided
+        die in one vectorised pass) — strategies must treat it exactly
+        like their own ``graph.total_violations(frequencies)``.
+        """
         ...
 
 
@@ -157,8 +164,13 @@ class GreedyLocalRepair:
         frequencies: np.ndarray,
         tuner: TunerModel,
         rng: np.random.Generator,
+        initial_violations: int | None = None,
     ) -> RepairOutcome:
-        initial = graph.total_violations(frequencies)
+        initial = (
+            initial_violations
+            if initial_violations is not None
+            else graph.total_violations(frequencies)
+        )
         if initial == 0 or tuner.is_noop:
             return _noop(frequencies, initial)
 
@@ -259,8 +271,13 @@ class AnnealingRepair:
         frequencies: np.ndarray,
         tuner: TunerModel,
         rng: np.random.Generator,
+        initial_violations: int | None = None,
     ) -> RepairOutcome:
-        initial = graph.total_violations(frequencies)
+        initial = (
+            initial_violations
+            if initial_violations is not None
+            else graph.total_violations(frequencies)
+        )
         if initial == 0 or tuner.is_noop:
             return _noop(frequencies, initial)
 

@@ -1,0 +1,294 @@
+"""Tests for the pluggable execution backends.
+
+Covers the backend PR's contract: the registry (names, did-you-mean
+diagnostics, the ``auto`` selection mode), bit-identical results across
+all four executable backends — at the ``map_calls`` level, at the
+experiment level (``fig4`` / ``tunedyield`` / ``appsweep``), and against
+the committed fig4 golden — task fusion bookkeeping (per-subtask cache
+entries and stats), the shared-memory export/attach round-trip, and the
+``REPRO_BACKEND`` environment default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.registry import EXPERIMENTS
+from repro.core.collisions import collision_free_mask, count_collision_free
+from repro.engine import (
+    BACKENDS,
+    Backend,
+    ExecutionEngine,
+    ResultCache,
+    SequentialBackend,
+    get_backend,
+    spawn_seeds,
+)
+from repro.engine import backends as backends_module
+from repro.engine.runner import BACKEND_ENV_VAR
+
+#: Every instantiable backend (``auto`` is a selection mode, not a class).
+EXECUTABLE_BACKENDS = ("sequential", "threads", "processes", "shared-memory")
+
+
+# Module-level task functions: picklable for the process-pool backends.
+def _normal_sum(seed: int, count: int = 8) -> float:
+    return float(np.random.default_rng(seed).normal(size=count).sum())
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"task failed on {x}")
+
+
+class TestBackendRegistry:
+    def test_all_backends_registered(self):
+        assert set(BACKENDS.names()) == {"auto", *EXECUTABLE_BACKENDS}
+
+    def test_unknown_backend_has_did_you_mean(self):
+        with pytest.raises(KeyError, match="did you mean 'processes'"):
+            BACKENDS.get("procesess")
+
+    def test_unknown_backend_lists_known_names(self):
+        with pytest.raises(KeyError, match="known: .*sequential"):
+            BACKENDS.get("mpi")
+
+    def test_auto_is_not_instantiable(self):
+        with pytest.raises(ValueError, match="selection mode"):
+            get_backend("auto", jobs=2)
+
+    @pytest.mark.parametrize("name", EXECUTABLE_BACKENDS)
+    def test_instances_satisfy_protocol(self, name):
+        backend = get_backend(name, jobs=2)
+        assert isinstance(backend, Backend)
+        assert backend.name == name
+
+    def test_engine_rejects_unknown_backend_early(self):
+        with pytest.raises(KeyError, match="did you mean 'threads'"):
+            ExecutionEngine(jobs=2, use_cache=False, backend="treads")
+
+    def test_duplicate_registration_rejected(self):
+        spec = BACKENDS.get("sequential")
+        with pytest.raises(ValueError, match="already registered"):
+            BACKENDS.register(spec)
+
+
+class TestBackendParity:
+    """All backends must be bit-identical: tasks carry their own seeds."""
+
+    @pytest.mark.parametrize("name", EXECUTABLE_BACKENDS)
+    def test_map_calls_matches_sequential(self, name):
+        kwargs = [{"seed": s} for s in spawn_seeds(7, 6)]
+        baseline = ExecutionEngine(jobs=1, use_cache=False, backend="sequential")
+        engine = ExecutionEngine(jobs=2, use_cache=False, backend=name)
+        assert engine.map_calls(_normal_sum, kwargs, name="t") == baseline.map_calls(
+            _normal_sum, kwargs, name="t"
+        )
+
+    @pytest.mark.parametrize("name", ("threads", "processes"))
+    def test_fusion_does_not_change_results(self, name):
+        kwargs = [{"seed": s} for s in spawn_seeds(13, 9)]
+        fused = ExecutionEngine(jobs=2, use_cache=False, backend=name)
+        plain = ExecutionEngine(jobs=2, use_cache=False, backend=name, fuse=False)
+        assert fused.map_calls(_normal_sum, kwargs, name="t") == plain.map_calls(
+            _normal_sum, kwargs, name="t"
+        )
+        assert fused.stats.tasks_fused == 9
+        assert plain.stats.tasks_fused == 0
+
+    @pytest.mark.parametrize("name", ("threads", "processes", "shared-memory"))
+    def test_task_exceptions_propagate_from_pools(self, name):
+        engine = ExecutionEngine(jobs=2, use_cache=False, backend=name, fuse=False)
+        with pytest.raises(RuntimeError, match="task failed on"):
+            engine.map_calls(_boom, [{"x": 1}, {"x": 2}], name="boom")
+
+    def test_lambda_downgrades_process_backend_to_sequential(self):
+        engine = ExecutionEngine(jobs=2, use_cache=False, backend="processes")
+        offset = 10
+        results = engine.map_calls(
+            lambda x: x + offset, [{"x": 1}, {"x": 2}, {"x": 3}], name="closure"
+        )
+        assert results == [11, 12, 13]
+        assert engine.stats.workers_used == 1  # ran in-process
+
+
+class TestTaskFusion:
+    def test_fusion_stats_and_grouping(self):
+        engine = ExecutionEngine(jobs=2, use_cache=False, backend="threads")
+        values = list(range(8))
+        results = engine.map_calls(_square, [{"x": v} for v in values], name="sq")
+        assert results == [v * v for v in values]
+        # 8 pending tasks on 2 workers, 2 waves -> groups of 2, 4 batches.
+        assert engine.stats.tasks_fused == 8
+        assert engine.stats.fusion_batches == 4
+        assert engine.stats.tasks_executed == 8
+
+    def test_fused_tasks_keep_per_subtask_cache_entries(self, tmp_path):
+        kwargs = [{"seed": s} for s in spawn_seeds(11, 8)]
+        first = ExecutionEngine(
+            jobs=2, cache=ResultCache(tmp_path / "cache"), backend="threads"
+        )
+        warm = first.map_calls(_normal_sum, kwargs, name="ns")
+        assert first.stats.tasks_fused == 8
+
+        second = ExecutionEngine(
+            jobs=2, cache=ResultCache(tmp_path / "cache"), backend="threads"
+        )
+        replay = second.map_calls(_normal_sum, kwargs, name="ns")
+        assert replay == warm
+        assert second.stats.cache_hits == 8
+        assert second.stats.tasks_executed == 0
+
+    def test_small_batches_do_not_fuse(self):
+        engine = ExecutionEngine(jobs=2, use_cache=False, backend="threads")
+        engine.map_calls(_square, [{"x": 1}, {"x": 2}], name="sq")
+        assert engine.stats.tasks_fused == 0  # len(pending) <= jobs
+
+    def test_sequential_backend_never_fuses(self):
+        engine = ExecutionEngine(jobs=2, use_cache=False, backend="sequential")
+        engine.map_calls(_square, [{"x": v} for v in range(8)], name="sq")
+        assert engine.stats.tasks_fused == 0
+        assert engine.stats.fusion_batches == 0
+
+
+class TestSharedMemoryBackend:
+    def test_export_attach_roundtrip(self):
+        big = np.arange(4096, dtype=float)  # 32 KiB: exported
+        small = np.arange(4, dtype=float)  # pickled as-is
+        refs: dict = {}
+        blocks: list = []
+        payload = {"x": big, "y": small, "nest": [big * 2.0, "tag"]}
+        kwargs = backends_module._export_value(payload, (), refs, blocks)
+        try:
+            assert set(refs) == {("x",), ("nest", 0)}
+            assert kwargs["x"] is None and kwargs["nest"][0] is None
+            np.testing.assert_array_equal(kwargs["y"], small)
+            attached = backends_module._attach(refs[("x",)])
+            np.testing.assert_array_equal(attached, big)
+            assert not attached.flags.writeable  # inputs are shared views
+            nested = backends_module._attach(refs[("nest", 0)])
+            np.testing.assert_array_equal(nested, big * 2.0)
+        finally:
+            backends_module._detach_all()
+            for block in blocks:
+                block.close()
+                block.unlink()
+
+    def test_small_arrays_are_not_exported(self):
+        refs: dict = {}
+        blocks: list = []
+        kwargs = backends_module._export_value(
+            {"a": np.arange(8, dtype=float)}, (), refs, blocks
+        )
+        assert refs == {} and blocks == []
+        np.testing.assert_array_equal(kwargs["a"], np.arange(8, dtype=float))
+
+    def test_large_array_kwargs_parity(self, allocation_27):
+        rng = np.random.default_rng(42)
+        batches = [
+            rng.normal(0.0, 0.05, size=(400, 27)) + allocation_27.ideal_frequencies
+            for _ in range(2)
+        ]
+        kwargs = [{"allocation": allocation_27, "frequencies": f} for f in batches]
+        shm = ExecutionEngine(jobs=2, use_cache=False, backend="shared-memory")
+        counts = shm.map_calls(count_collision_free, kwargs, name="cf")
+        expected = [
+            int(collision_free_mask(allocation_27, f).sum()) for f in batches
+        ]
+        assert counts == expected
+
+
+class TestAutoModeAndEnvironment:
+    def test_auto_resolves_tiny_batches_sequentially(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        engine = ExecutionEngine(jobs=2, use_cache=False)
+        kwargs = [{"x": v} for v in range(6)]
+        assert engine.map_calls(_square, kwargs, name="sq") == [
+            v * v for v in range(6)
+        ]
+        assert engine.stats.backend == "auto"
+        assert engine.stats.workers_used == 1  # probe + cheap -> in-process
+
+    def test_auto_matches_sequential_results(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        kwargs = [{"seed": s} for s in spawn_seeds(5, 7)]
+        auto = ExecutionEngine(jobs=2, use_cache=False, backend="auto")
+        seq = ExecutionEngine(jobs=1, use_cache=False, backend="sequential")
+        assert auto.map_calls(_normal_sum, kwargs, name="t") == seq.map_calls(
+            _normal_sum, kwargs, name="t"
+        )
+
+    def test_env_var_sets_default_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "threads")
+        assert ExecutionEngine(jobs=2, use_cache=False).backend == "threads"
+
+    def test_explicit_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "threads")
+        engine = ExecutionEngine(jobs=2, use_cache=False, backend="sequential")
+        assert engine.backend == "sequential"
+
+    def test_empty_env_falls_back_to_auto(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert ExecutionEngine(jobs=2, use_cache=False).backend == "auto"
+
+    def test_invalid_env_backend_raises_with_suggestion(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "procesess")
+        with pytest.raises(KeyError, match="did you mean 'processes'"):
+            ExecutionEngine(jobs=2, use_cache=False)
+
+    def test_stats_summary_names_backend(self):
+        engine = ExecutionEngine(jobs=1, use_cache=False, backend="sequential")
+        engine.map_calls(_square, [{"x": 2}], name="sq")
+        assert "[sequential]" in engine.stats.summary()
+
+    def test_sequential_backend_forces_one_job(self):
+        assert SequentialBackend(jobs=8).jobs == 1
+
+
+#: (experiment, runner kwargs) pairs for end-to-end backend parity —
+#: small batches, every engine-driven Monte-Carlo / compile path.
+_EXPERIMENT_CASES = {
+    "fig4": dict(seed=7, batch_size=100),
+    "tunedyield": dict(seed=7, batch_size=60),
+    "appsweep": dict(seed=7, batch_size=60, benchmarks=("ghz",), routing="basic"),
+}
+
+
+@pytest.fixture(scope="module")
+def sequential_experiment_texts():
+    texts = {}
+    for name, kwargs in _EXPERIMENT_CASES.items():
+        engine = ExecutionEngine(jobs=1, use_cache=False, backend="sequential")
+        _, texts[name] = EXPERIMENTS.get(name).runner(engine, **kwargs)
+    return texts
+
+
+class TestExperimentBackendParity:
+    @pytest.mark.parametrize("backend", ("threads", "processes", "shared-memory"))
+    @pytest.mark.parametrize("experiment", sorted(_EXPERIMENT_CASES))
+    def test_experiment_output_identical(
+        self, backend, experiment, sequential_experiment_texts
+    ):
+        engine = ExecutionEngine(jobs=2, use_cache=False, backend=backend)
+        spec = EXPERIMENTS.get(experiment)
+        _, text = spec.runner(engine, **_EXPERIMENT_CASES[experiment])
+        assert text == sequential_experiment_texts[experiment]
+
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
+    def test_fig4_golden_survives_backend(self, backend):
+        """Spot-check: the committed fig4 golden holds under pooled backends."""
+        from test_golden_regression import GOLDEN_DIR, GOLDEN_PARAMS, _drift, summarize
+        import json
+
+        seed, batch = GOLDEN_PARAMS["fig4"]
+        engine = ExecutionEngine(jobs=2, use_cache=False, backend=backend)
+        result, _ = EXPERIMENTS.get("fig4").runner(
+            engine, seed=seed, batch_size=batch, full=False
+        )
+        golden = json.loads((GOLDEN_DIR / "fig4.json").read_text())
+        problems = _drift(golden["summary"], summarize(result))
+        assert not problems, "\n".join(problems[:10])

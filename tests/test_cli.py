@@ -255,3 +255,69 @@ class TestCLI:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 1
         assert "usage" in capsys.readouterr().out
+
+
+class TestCLIBackends:
+    def test_list_shows_backends(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "execution backends (for --backend / $REPRO_BACKEND):" in out
+        for name in ("auto", "sequential", "threads", "processes", "shared-memory"):
+            assert name in out
+
+    def test_backend_typo_gets_suggestion(self, capsys):
+        assert main(["run", "fig4", "--backend", "procces"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'procces'" in err
+        assert "did you mean 'processes'" in err
+
+    def test_unknown_backend_rejected(self, capsys):
+        assert main(["run", "fig4", "--backend", "mpi"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'mpi'" in err and "sequential" in err
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_run_fig4_backend_matches_sequential(self, backend, capsys):
+        args = ["run", "fig4", "--seed", "7", "--batch", "100", "--no-cache"]
+        assert main([*args, "--jobs", "1", "--backend", "sequential"]) == 0
+        seq = capsys.readouterr().out
+        assert main([*args, "--jobs", "2", "--backend", backend]) == 0
+        par = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("[engine]")
+        ]
+        assert strip(seq) == strip(par)
+
+    def test_engine_line_names_backend(self, capsys):
+        args = [
+            "run", "fig4", "--seed", "3", "--batch", "60",
+            "--jobs", "1", "--backend", "threads", "--no-cache",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[threads]" in out
+
+    def test_env_var_backend_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        args = ["run", "fig4", "--seed", "3", "--batch", "60", "--jobs", "1", "--no-cache"]
+        assert main(args) == 0
+        assert "[threads]" in capsys.readouterr().out
+
+    def test_dump_json_reports_engine_stats(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fig4.json"
+        args = [
+            "run", "fig4", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--backend", "sequential", "--quiet", "--dump-json", str(path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        engine = payload["engine"]
+        assert engine["backend"] == "sequential"
+        assert engine["jobs"] == 1
+        assert engine["tasks_total"] >= engine["tasks_executed"] > 0
+        assert {"tasks_fused", "fusion_batches", "cache_hits", "wall_seconds"} <= set(
+            engine
+        )
