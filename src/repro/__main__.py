@@ -36,6 +36,19 @@ Subcommands
     benchmark, routing strategy and execution backend.
 ``cache clear``
     Drop the on-disk result cache.
+``serve``
+    Run the reproduction service: an asyncio HTTP job API over the
+    engine (stdlib only, no extra dependencies).  ``--host``/``--port``
+    bind the listener (``--port 0`` picks a free port and prints it),
+    ``--workers`` sets the concurrent-job count, ``--queue-size`` the
+    bounded-queue capacity (submissions beyond it get HTTP 429),
+    ``--rate``/``--burst`` enable per-client token-bucket rate limiting,
+    ``--max-attempts`` caps transient-failure retries and
+    ``--jobs``/``--backend``/``--no-cache`` configure each job's
+    execution engine exactly like ``run``.  Submissions with identical
+    experiment + parameters + code version coalesce onto one in-flight
+    job.  See the README's "Reproduction as a service" section for the
+    endpoint reference.
 
 Unknown experiment or topology names exit with status 2 and a
 did-you-mean suggestion from the corresponding registry.
@@ -57,6 +70,7 @@ Examples
     python -m repro run fig4 --backend threads --jobs 4
     python -m repro run fig8 --jobs 4 --batch 2000
     python -m repro cache clear
+    python -m repro serve --port 8151 --workers 2
 """
 
 from __future__ import annotations
@@ -202,6 +216,57 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cache = sub.add_parser("cache", help="manage the on-disk result cache")
     cache.add_argument("action", choices=("clear", "info"))
+
+    serve = sub.add_parser("serve", help="run the HTTP reproduction service")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8151, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent jobs (warm pool size)"
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=32,
+        help="bounded job-queue capacity (submissions beyond it get 429)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-client rate limit in submissions/second (off by default)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=10.0,
+        help="per-client burst capacity when --rate is set",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per job for transient failures (1 disables retries)",
+    )
+    serve.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="engine worker processes per job (default: all cores)",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="engine execution backend for every job (see `run --backend`)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache",
+    )
     return parser
 
 
@@ -414,6 +479,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import JobManager, RateLimiter, RetryPolicy, ServiceServer
+
+    if args.backend is not None and args.backend not in BACKENDS:
+        known = ", ".join(BACKENDS.names())
+        suggestion = did_you_mean(args.backend, BACKENDS.names())
+        print(
+            f"unknown backend {args.backend!r}{suggestion} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        retry = RetryPolicy(max_attempts=args.max_attempts)
+    except ValueError as exc:
+        print(f"invalid retry options: {exc}", file=sys.stderr)
+        return 2
+    limiter = (
+        RateLimiter(rate=args.rate, burst=args.burst)
+        if args.rate is not None
+        else None
+    )
+    engine_options = {
+        "jobs": args.jobs,
+        "backend": args.backend,
+        "use_cache": not args.no_cache,
+    }
+
+    async def _serve() -> None:
+        manager = JobManager(
+            workers=args.workers,
+            queue_size=args.queue_size,
+            retry=retry,
+            limiter=limiter,
+            engine_options=engine_options,
+        )
+        async with manager:
+            server = ServiceServer(manager, host=args.host, port=args.port)
+            await server.start()
+            print(
+                f"[serve] listening on http://{server.host}:{server.port} "
+                f"(workers={manager.workers}, queue={manager.queue_size})",
+                flush=True,
+            )
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\n[serve] stopped")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -424,6 +548,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache(args.action)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     parser.print_help()
     return 1
 

@@ -53,9 +53,57 @@ from repro.circuits.benchmarks import BENCHMARK_NAMES
 from repro.core.chiplet import PAPER_CHIPLET_SIZES
 from repro.engine import ExperimentRegistry
 
-__all__ = ["EXPERIMENTS", "build_study"]
+__all__ = [
+    "EXPERIMENTS",
+    "build_study",
+    "RUNNER_OPTION_NAMES",
+    "normalize_runner_params",
+]
 
 EXPERIMENTS = ExperimentRegistry()
+
+#: Keyword options every registered runner accepts (the uniform runner
+#: signature documented above).  The service layer validates submitted
+#: job parameters against this list and the CLI maps its flags onto it.
+RUNNER_OPTION_NAMES = (
+    "seed",
+    "batch_size",
+    "full",
+    "stats",
+    "topology",
+    "tuning",
+    "benchmarks",
+    "routing",
+)
+
+
+def normalize_runner_params(params: dict[str, Any] | None) -> dict[str, Any]:
+    """Canonicalise a runner-options mapping for submission/coalescing.
+
+    Unknown keys raise ``ValueError`` with a did-you-mean suggestion;
+    ``None`` values are dropped (an explicit ``seed=None`` means "use the
+    experiment default", exactly like omitting it); ``benchmarks`` lists
+    become tuples; keys are sorted.  Two submissions that would drive a
+    runner identically therefore normalise to the same dict — the basis
+    of the service's request-coalescing key.
+    """
+    from repro.engine.registry import did_you_mean
+
+    cleaned: dict[str, Any] = {}
+    for key in sorted(params or {}):
+        if key not in RUNNER_OPTION_NAMES:
+            suggestion = did_you_mean(key, RUNNER_OPTION_NAMES)
+            raise ValueError(
+                f"unknown experiment parameter {key!r}{suggestion} "
+                f"(known: {', '.join(RUNNER_OPTION_NAMES)})"
+            )
+        value = (params or {})[key]
+        if value is None:
+            continue
+        if key == "benchmarks":
+            value = tuple(value)
+        cleaned[key] = value
+    return cleaned
 
 #: Reduced-batch default so CLI runs finish in minutes on a laptop; the
 #: paper's 10 000-die batches are requested with ``--batch 10000``.

@@ -27,6 +27,8 @@ from repro.engine.backends import (
     BACKENDS,
     Backend,
     BackendSpec,
+    CancelToken,
+    ExecutionCancelled,
     ProcessBackend,
     SequentialBackend,
     SharedMemoryBackend,
@@ -46,6 +48,8 @@ __all__ = [
     "Backend",
     "BackendSpec",
     "BACKENDS",
+    "CancelToken",
+    "ExecutionCancelled",
     "get_backend",
     "SequentialBackend",
     "ThreadBackend",

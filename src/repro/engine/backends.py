@@ -20,7 +20,16 @@ Failure semantics (kept from the historical process-pool runner): a task
 exception always propagates; the sequential fallback is reserved for
 infrastructure problems only — an unpicklable task function, an
 environment that refuses to start processes, or a pool that breaks
-before any worker ever ran.
+before any worker ever ran.  When a broken pool does fall back, only the
+calls whose futures never completed are re-run (completed results and
+durations are kept), so side-effecting tasks never execute twice.
+
+Cancellation: every backend's ``execute`` accepts an optional
+:class:`CancelToken`.  A set token stops the scheduling of remaining
+calls — in-flight work runs to completion (a process cannot be safely
+killed mid-task), queued futures are cancelled — and surfaces as
+:class:`ExecutionCancelled`.  The token is a plain ``threading.Event``
+wrapper, so the service layer can flip it from any thread.
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ __all__ = [
     "Call",
     "ExecutionReport",
     "Backend",
+    "CancelToken",
+    "ExecutionCancelled",
     "fn_picklable",
     "run_fused",
     "SequentialBackend",
@@ -61,6 +72,41 @@ AUTO_BACKEND = "auto"
 
 #: Arrays smaller than this are cheaper to pickle than to export.
 _SHARED_MIN_BYTES = 16 * 1024
+
+
+class ExecutionCancelled(RuntimeError):
+    """A batch stopped because its :class:`CancelToken` was set.
+
+    Raised by the backend (between calls) or by the engine (between
+    batches); completed call results inside the aborted batch are
+    discarded — cancellation is a request to stop producing, not a
+    partial-result channel.
+    """
+
+
+class CancelToken:
+    """Thread-safe one-way cancellation flag shared across layers.
+
+    The service layer flips it from the event loop, the engine checks it
+    between task batches, and every backend checks it between call
+    completions — so one ``cancel()`` stops the scheduling of all
+    remaining work no matter which layer currently holds the batch.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, irreversible)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise ExecutionCancelled("execution cancelled")
 
 
 @dataclass(frozen=True)
@@ -103,8 +149,16 @@ class Backend(Protocol):
     name: str
     pooled: bool
 
-    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
-        """Run every call; report results/seconds in input order."""
+    def execute(
+        self, calls: Sequence[Call], cancel: CancelToken | None = None
+    ) -> ExecutionReport:
+        """Run every call; report results/seconds in input order.
+
+        A set ``cancel`` token stops the scheduling of remaining calls
+        and raises :class:`ExecutionCancelled`.  Third-party backends
+        may omit the parameter — the engine only passes it when the
+        signature accepts it.
+        """
         ...
 
 
@@ -150,11 +204,15 @@ def run_fused(fn: Callable[..., Any], kwargs_list: list[dict[str, Any]]) -> list
     return out
 
 
-def _run_serial(calls: Sequence[Call]) -> ExecutionReport:
+def _run_serial(
+    calls: Sequence[Call], cancel: CancelToken | None = None
+) -> ExecutionReport:
     """In-process execution of a call batch (also the infra fallback)."""
     results: list[Any] = []
     seconds: list[float] = []
     for call in calls:
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         started = time.perf_counter()
         results.append(call.fn(**call.kwargs))
         seconds.append(time.perf_counter() - started)
@@ -202,8 +260,10 @@ class SequentialBackend:
     def __init__(self, jobs: int = 1):
         self.jobs = 1
 
-    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
-        return _run_serial(calls)
+    def execute(
+        self, calls: Sequence[Call], cancel: CancelToken | None = None
+    ) -> ExecutionReport:
+        return _run_serial(calls, cancel)
 
 
 class ThreadBackend:
@@ -218,7 +278,11 @@ class ThreadBackend:
     def __init__(self, jobs: int = 1):
         self.jobs = max(1, jobs)
 
-    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
+    def execute(
+        self, calls: Sequence[Call], cancel: CancelToken | None = None
+    ) -> ExecutionReport:
+        if cancel is not None:
+            cancel.raise_if_cancelled()  # don't submit an already-dead batch
         report = ExecutionReport(results=[None] * len(calls), seconds=[0.0] * len(calls))
         with ThreadPoolExecutor(max_workers=min(self.jobs, len(calls))) as pool:
             futures = [
@@ -226,6 +290,12 @@ class ThreadBackend:
                 for call in calls
             ]
             for index, future in enumerate(futures):
+                if cancel is not None and cancel.cancelled:
+                    for pending in futures[index:]:
+                        pending.cancel()  # queued work never starts
+                    raise ExecutionCancelled(
+                        f"cancelled with {len(calls) - index} call(s) unscheduled"
+                    )
                 seconds, ident, result = future.result()
                 report.seconds[index] = seconds
                 report.results[index] = result
@@ -243,21 +313,32 @@ class ProcessBackend:
     def __init__(self, jobs: int = 1):
         self.jobs = max(1, jobs)
 
-    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
+    def execute(
+        self, calls: Sequence[Call], cancel: CancelToken | None = None
+    ) -> ExecutionReport:
+        if cancel is not None:
+            cancel.raise_if_cancelled()  # don't submit an already-dead batch
         if not _fns_picklable(calls):
-            return _run_serial(calls)
+            return _run_serial(calls, cancel)
         try:
             pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(calls)))
         except OSError:
-            return _run_serial(calls)  # process creation refused
+            return _run_serial(calls, cancel)  # process creation refused
         report = ExecutionReport(results=[None] * len(calls), seconds=[0.0] * len(calls))
         broken = False
+        completed = 0  # futures [0, completed) are recorded in the report
         try:
             with pool:
                 futures = [
                     pool.submit(_invoke, call.fn, dict(call.kwargs)) for call in calls
                 ]
                 for index, future in enumerate(futures):
+                    if cancel is not None and cancel.cancelled:
+                        for pending in futures[index:]:
+                            pending.cancel()  # queued work never starts
+                        raise ExecutionCancelled(
+                            f"cancelled with {len(calls) - index} call(s) unscheduled"
+                        )
                     try:
                         seconds, pid, result = future.result()
                     except BrokenProcessPool as exc:
@@ -280,12 +361,19 @@ class ProcessBackend:
                     report.seconds[index] = seconds
                     report.results[index] = result
                     report.workers.add(pid)
+                    completed = index + 1
         except BrokenProcessPool:
             broken = True  # raised by pool shutdown itself
         if broken:
-            # Workers cannot start at all (sandboxed environment) — run
-            # in-process.  Task exceptions propagate untouched.
-            return _run_serial(calls)
+            # Workers cannot start at all (sandboxed environment) — resume
+            # in-process from the first call whose future never completed,
+            # keeping the results/seconds already recorded so side effects
+            # and per-family durations are never duplicated.  Task
+            # exceptions propagate untouched.
+            tail = _run_serial(calls[completed:], cancel)
+            report.results[completed:] = tail.results
+            report.seconds[completed:] = tail.seconds
+            report.workers |= tail.workers
         return report
 
 
@@ -377,6 +465,29 @@ def _invoke_shared(fn: Callable[..., Any], kwargs: dict[str, Any], refs: dict) -
     return fn(**kwargs)
 
 
+def _materialise_shared(value: Any, views: list[np.ndarray]) -> Any:
+    """Copy any array in ``value`` whose memory aliases a shared block.
+
+    On the sequential-fallback path a task runs in the parent process and
+    may return a numpy view into an attached shared-memory block (e.g. a
+    task that returns its own input array); once the block is detached
+    and unlinked that view reads freed memory.  ``views`` are byte views
+    over every block about to be released — aliasing arrays are copied
+    into process-owned memory first.  Descends into dicts/lists/tuples,
+    mirroring :func:`_export_value`'s structural reach.
+    """
+    if isinstance(value, np.ndarray):
+        if any(np.may_share_memory(value, view) for view in views):
+            return value.copy()
+        return value
+    if isinstance(value, dict):
+        return {key: _materialise_shared(item, views) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        rebuilt = [_materialise_shared(item, views) for item in value]
+        return rebuilt if isinstance(value, list) else tuple(rebuilt)
+    return value
+
+
 class SharedMemoryBackend(ProcessBackend):
     """Process pool fed through ``multiprocessing.shared_memory``.
 
@@ -390,7 +501,9 @@ class SharedMemoryBackend(ProcessBackend):
 
     name = "shared-memory"
 
-    def execute(self, calls: Sequence[Call]) -> ExecutionReport:
+    def execute(
+        self, calls: Sequence[Call], cancel: CancelToken | None = None
+    ) -> ExecutionReport:
         blocks: list[shared_memory.SharedMemory] = []
         wrapped: list[Call] = []
         for call in calls:
@@ -407,7 +520,21 @@ class SharedMemoryBackend(ProcessBackend):
             else:
                 wrapped.append(call)
         try:
-            return super().execute(wrapped)
+            report = super().execute(wrapped, cancel)
+            if _ATTACHED:
+                # Sequential fallback: tasks ran in THIS process against
+                # attached views, so a result may alias a block the
+                # ``finally`` below is about to free — copy before detach.
+                # (Pool results arrive pickled and never alias.)
+                local_views = [
+                    np.ndarray((block.size,), np.uint8, buffer=block.buf)
+                    for block in (*_ATTACHED.values(), *blocks)
+                ]
+                report.results = [
+                    _materialise_shared(result, local_views)
+                    for result in report.results
+                ]
+            return report
         finally:
             _detach_all()  # only populated here on the sequential fallback
             for block in blocks:

@@ -21,6 +21,7 @@ import os
 import pickle
 import sys
 import tempfile
+import threading
 from dataclasses import is_dataclass, fields
 from functools import lru_cache
 from pathlib import Path
@@ -131,6 +132,19 @@ class ResultCache:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        # hits/misses are bare ints incremented from whichever thread runs
+        # get(); without the lock concurrent engines (the thread backend,
+        # the service's worker pool) lose increments and skew EngineStats.
+        self._stats_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_stats_lock"]  # locks do not pickle
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Keys
@@ -162,15 +176,30 @@ class ResultCache:
         return self._path(key).exists()
 
     def get(self, key: str, default: Any = None) -> Any:
-        """Load a cached value (``default`` on miss or unreadable entry)."""
+        """Load a cached value (``default`` on miss or unreadable entry).
+
+        An entry that exists but cannot be unpickled (truncated write,
+        disk corruption, a stale class rename) is *deleted*, not just
+        skipped: leaving it in place would make ``contains()`` keep
+        answering True while every future ``get()`` re-fails on the same
+        poisoned bytes, so the slot could never heal.
+        """
         path = self._path(key)
         try:
             with path.open("rb") as handle:
                 value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            self.misses += 1
+        except Exception:
+            # Any unreadable entry is a miss; unlink it so the next run
+            # recomputes and rewrites the slot (no-op on a plain miss).
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            with self._stats_lock:
+                self.misses += 1
             return default
-        self.hits += 1
+        with self._stats_lock:
+            self.hits += 1
         return value
 
     def put(self, key: str, value: Any) -> None:

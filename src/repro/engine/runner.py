@@ -27,12 +27,14 @@ import os
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Sequence
 
 from repro.engine.backends import (
     AUTO_BACKEND,
     BACKENDS,
     Call,
+    CancelToken,
     fn_picklable,
     get_backend,
     run_fused,
@@ -58,6 +60,21 @@ _FUSION_MAX_TASK_SECONDS = 0.1
 #: Fused super-task batches per worker: >1 keeps the pool load-balanced
 #: when subtask durations are uneven.
 _FUSION_WAVES = 2
+
+
+@lru_cache(maxsize=64)
+def _backend_accepts_cancel(backend_type: type) -> bool:
+    """True when a backend's ``execute`` takes a ``cancel`` parameter.
+
+    Detected from the signature (the ``initial_violations=`` idiom in
+    ``tuning.repair_batch``) so third-party backends registered before
+    cancellation existed keep working — they just cancel at batch
+    granularity instead of call granularity.
+    """
+    try:
+        return "cancel" in inspect.signature(backend_type.execute).parameters
+    except (TypeError, ValueError):
+        return False
 
 
 def _fn_cache_safe(fn: Callable[..., Any]) -> bool:
@@ -165,6 +182,18 @@ class ExecutionEngine:
     fuse:
         Enable task fusion for pooled backends (on by default; results
         are bit-identical either way).
+    cancel:
+        Optional :class:`~repro.engine.backends.CancelToken`.  Once set
+        (from any thread), the engine raises
+        :class:`~repro.engine.backends.ExecutionCancelled` before
+        scheduling the next batch, and the running batch stops
+        scheduling its remaining calls on every built-in backend.
+    progress:
+        Optional callable invoked after every completed batch with a
+        stats snapshot dict (``tasks_total``, ``tasks_executed``,
+        ``cache_hits``, ``batch_tasks``, ``batch_executed``,
+        ``batch_seconds``, ``wall_seconds``).  Called from whichever
+        thread runs the batch; must be cheap and must not raise.
     """
 
     def __init__(
@@ -174,6 +203,8 @@ class ExecutionEngine:
         use_cache: bool = True,
         backend: str | None = None,
         fuse: bool = True,
+        cancel: CancelToken | None = None,
+        progress: Callable[[dict[str, Any]], None] | None = None,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = (cache if cache is not None else ResultCache()) if use_cache else None
@@ -182,6 +213,8 @@ class ExecutionEngine:
         BACKENDS.get(backend)  # validate early: KeyError carries did-you-mean
         self.backend = backend
         self.fuse = fuse
+        self.cancel = cancel
+        self.progress = progress
         self.stats = EngineStats(jobs=self.jobs, backend=backend)
         self._family_counts: dict[str, int] = defaultdict(int)
 
@@ -205,7 +238,14 @@ class ExecutionEngine:
         return self.run_tasks(tasks)
 
     def run_tasks(self, tasks: Sequence[Task]) -> list[Any]:
-        """Execute a batch of independent tasks, results in input order."""
+        """Execute a batch of independent tasks, results in input order.
+
+        Raises :class:`~repro.engine.backends.ExecutionCancelled` when
+        the engine's cancel token is set — before the batch starts, or
+        from the backend mid-batch.
+        """
+        if self.cancel is not None:
+            self.cancel.raise_if_cancelled()
         started = time.perf_counter()
         results: list[Any] = [None] * len(tasks)
 
@@ -247,6 +287,18 @@ class ExecutionEngine:
         for index, seconds in durations.items():
             self.stats.seconds_by_family[tasks[index].name] += seconds
             self._family_counts[tasks[index].name] += 1
+        if self.progress is not None:
+            self.progress(
+                {
+                    "tasks_total": self.stats.tasks_total,
+                    "tasks_executed": self.stats.tasks_executed,
+                    "cache_hits": self.stats.cache_hits,
+                    "batch_tasks": len(tasks),
+                    "batch_executed": len(pending),
+                    "batch_seconds": elapsed,
+                    "wall_seconds": self.stats.wall_seconds,
+                }
+            )
         return results
 
     # ------------------------------------------------------------------ #
@@ -299,7 +351,10 @@ class ExecutionEngine:
 
         backend = get_backend(name, jobs=self.jobs)
         calls, groups = self._plan_calls(tasks, pending, backend.pooled, cost)
-        report = backend.execute(calls)
+        if self.cancel is not None and _backend_accepts_cancel(type(backend)):
+            report = backend.execute(calls, cancel=self.cancel)
+        else:
+            report = backend.execute(calls)
         self.stats.workers_used = max(self.stats.workers_used, len(report.workers))
 
         for position, group in enumerate(groups):

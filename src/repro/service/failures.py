@@ -1,0 +1,168 @@
+"""Failure classification and retry policy for service jobs.
+
+The job manager never retries blindly: every exception a worker task
+raises is first classified by a :class:`FailureClassifier` into one of
+three :class:`FailureClass` buckets.
+
+* ``TRANSIENT`` — infrastructure weather (a broken process pool, a
+  connection reset, a timeout, or anything raising the explicit
+  :class:`TransientServiceError` marker).  Retried with exponential
+  backoff and jitter, up to :attr:`RetryPolicy.max_attempts`.
+* ``DETERMINISTIC`` — the task itself is wrong (bad parameters, a
+  ``ValueError`` deep in a model).  Re-running would fail identically,
+  so the job fails fast on the first attempt and records the error.
+* ``CANCELLED`` — the computation was asked to stop
+  (:class:`~repro.engine.backends.ExecutionCancelled`); never retried.
+
+Rules are matched first-to-last and user rules are prepended, so a
+deployment can reclassify — e.g. treat a flaky storage backend's
+``OSError`` subclass as transient — without touching the defaults (see
+the README's "adding a failure class" how-to).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Iterable
+
+from repro.engine.backends import ExecutionCancelled
+
+__all__ = [
+    "FailureClass",
+    "FailureRule",
+    "FailureClassifier",
+    "TransientServiceError",
+    "RetryPolicy",
+]
+
+
+class FailureClass(str, Enum):
+    """What a worker-task exception means for the job's future."""
+
+    TRANSIENT = "transient"
+    DETERMINISTIC = "deterministic"
+    CANCELLED = "cancelled"
+
+
+class TransientServiceError(RuntimeError):
+    """Explicit marker for failures the raiser knows are retryable.
+
+    Task code that detects its own transient conditions (a resource
+    momentarily missing, a dependency warming up) raises this to opt
+    into the retry-with-backoff path regardless of the default rules.
+    """
+
+
+@dataclass(frozen=True)
+class FailureRule:
+    """A named predicate mapping exceptions to a :class:`FailureClass`."""
+
+    name: str
+    matches: Callable[[BaseException], bool]
+    classification: FailureClass
+
+
+def _type_rule(name: str, types: tuple, classification: FailureClass) -> FailureRule:
+    return FailureRule(
+        name=name,
+        matches=lambda exc, _types=types: isinstance(exc, _types),
+        classification=classification,
+    )
+
+
+#: Built-in rules, matched in order; the catch-all deterministic rule is
+#: appended by the classifier itself and always matches last.
+DEFAULT_RULES: tuple[FailureRule, ...] = (
+    _type_rule(
+        "cancelled",
+        (ExecutionCancelled, asyncio.CancelledError),
+        FailureClass.CANCELLED,
+    ),
+    _type_rule("transient-marker", (TransientServiceError,), FailureClass.TRANSIENT),
+    _type_rule("broken-pool", (BrokenProcessPool,), FailureClass.TRANSIENT),
+    _type_rule("connection", (ConnectionError,), FailureClass.TRANSIENT),
+    _type_rule("timeout", (TimeoutError,), FailureClass.TRANSIENT),
+)
+
+#: Final fallback: an unrecognised exception is the task's own fault.
+FALLBACK_RULE = FailureRule(
+    name="deterministic-default",
+    matches=lambda exc: True,
+    classification=FailureClass.DETERMINISTIC,
+)
+
+
+class FailureClassifier:
+    """Ordered rule list; first matching rule wins."""
+
+    def __init__(self, rules: Iterable[FailureRule] | None = None):
+        self._rules: list[FailureRule] = list(
+            rules if rules is not None else DEFAULT_RULES
+        )
+
+    def add_rule(
+        self,
+        name: str,
+        classification: FailureClass,
+        *,
+        exception_types: tuple | None = None,
+        predicate: Callable[[BaseException], bool] | None = None,
+    ) -> FailureRule:
+        """Prepend a rule (user rules outrank the defaults).
+
+        Exactly one of ``exception_types`` / ``predicate`` is required.
+        """
+        if (exception_types is None) == (predicate is None):
+            raise ValueError("pass exactly one of exception_types or predicate")
+        if exception_types is not None:
+            rule = _type_rule(name, tuple(exception_types), classification)
+        else:
+            rule = FailureRule(name=name, matches=predicate, classification=classification)
+        self._rules.insert(0, rule)
+        return rule
+
+    def rules(self) -> list[FailureRule]:
+        return [*self._rules, FALLBACK_RULE]
+
+    def classify(self, exc: BaseException) -> FailureRule:
+        """The first rule matching ``exc`` (never returns ``None``)."""
+        for rule in self._rules:
+            if rule.matches(exc):
+                return rule
+        return FALLBACK_RULE
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient failures.
+
+    The delay after failed attempt ``n`` (1-based) is::
+
+        min(base_delay * multiplier**(n-1), max_delay) * (1 + jitter * u)
+
+    with ``u`` drawn uniformly from [0, 1) — full deterministic testing
+    is possible by seeding the ``random.Random`` the manager passes in.
+    Jitter de-synchronises retry herds: coalesced clients that all hit
+    the same transient failure must not retry in lockstep.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.2
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff delay after failed attempt number ``attempt`` (1-based)."""
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        return raw * (1.0 + self.jitter * rng.random())

@@ -1,0 +1,110 @@
+"""Per-client token-bucket rate limiting for the service front door.
+
+Each client identifier owns a :class:`TokenBucket` refilled continuously
+at ``rate`` tokens per second up to ``burst`` capacity; a submission
+costs one token.  An empty bucket rejects with :class:`RateLimited`,
+which carries the seconds until the next token so HTTP responses can set
+a ``Retry-After`` header (429).
+
+The clock is injectable so tests drive time explicitly instead of
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["RateLimited", "TokenBucket", "RateLimiter"]
+
+
+class RateLimited(RuntimeError):
+    """A client exceeded its token-bucket rate."""
+
+    def __init__(self, client: str, retry_after: float):
+        super().__init__(
+            f"client {client!r} is rate-limited; retry in {retry_after:.2f}s"
+        )
+        self.client = client
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """Continuously-refilled token bucket (not thread-safe by itself;
+    the manager only touches it from the event loop)."""
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        if now > self._updated and self.rate > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._updated) * self.rate
+            )
+        self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; False (and no spend) otherwise."""
+        self._refill()
+        if self._tokens + 1e-12 >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (inf at rate 0)."""
+        self._refill()
+        missing = tokens - self._tokens
+        if missing <= 0:
+            return 0.0
+        if self.rate <= 0:
+            return float("inf")
+        return missing / self.rate
+
+
+class RateLimiter:
+    """One token bucket per client identifier."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, clock=self._clock
+            )
+        return bucket
+
+    def acquire(self, client: str) -> None:
+        """Spend one token for ``client`` or raise :class:`RateLimited`."""
+        bucket = self.bucket(client)
+        if not bucket.try_acquire():
+            raise RateLimited(client, bucket.retry_after())

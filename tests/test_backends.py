@@ -7,9 +7,18 @@ experiment level (``fig4`` / ``tunedyield`` / ``appsweep``), and against
 the committed fig4 golden — task fusion bookkeeping (per-subtask cache
 entries and stats), the shared-memory export/attach round-trip, and the
 ``REPRO_BACKEND`` environment default.
+
+Regression suites added with the service PR: the shared-memory
+fallback's use-after-free on aliasing results, the broken-pool resume
+(no re-execution of completed calls), and cooperative cancellation
+through every backend.
 """
 
 from __future__ import annotations
+
+import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -19,6 +28,8 @@ from repro.core.collisions import collision_free_mask, count_collision_free
 from repro.engine import (
     BACKENDS,
     Backend,
+    CancelToken,
+    ExecutionCancelled,
     ExecutionEngine,
     ResultCache,
     SequentialBackend,
@@ -43,6 +54,36 @@ def _square(x: int) -> int:
 
 def _boom(x):
     raise RuntimeError(f"task failed on {x}")
+
+
+def _identity(arr):
+    return arr
+
+
+def _nested_identity(arr):
+    return {"arr": arr, "tag": "x", "pair": [arr, 1]}
+
+
+def _record_marker(marker_dir: str, index: int) -> int:
+    with open(os.path.join(marker_dir, "markers.log"), "a") as handle:
+        handle.write(f"{index}:{os.getpid()}\n")
+    return index * 10
+
+
+def _kill_worker(marker_dir: str, index: int, parent_pid: int) -> int:
+    if os.getpid() != parent_pid:
+        os._exit(1)  # die BEFORE writing a marker: the pool breaks here
+    return _record_marker(marker_dir, index)
+
+
+def _gated(marker_dir: str, index: int, gate: str, timeout: float = 30.0) -> int:
+    with open(os.path.join(marker_dir, f"ran-{index}"), "w"):
+        pass
+    deadline = time.time() + timeout
+    gate_path = os.path.join(marker_dir, gate)
+    while not os.path.exists(gate_path) and time.time() < deadline:
+        time.sleep(0.01)
+    return index
 
 
 class TestBackendRegistry:
@@ -292,3 +333,228 @@ class TestExperimentBackendParity:
         golden = json.loads((GOLDEN_DIR / "fig4.json").read_text())
         problems = _drift(golden["summary"], summarize(result))
         assert not problems, "\n".join(problems[:10])
+
+
+class _NoProcessPool:
+    """Stand-in that refuses to start, forcing the sequential fallback."""
+
+    def __init__(self, *args, **kwargs):
+        raise OSError("process creation refused (test)")
+
+
+class TestSharedMemoryFallbackAliasing:
+    """Regression: the sequential fallback used to unlink shared blocks
+    while a task result could still be a numpy view into one of them —
+    every later read of that result touched freed memory."""
+
+    def _force_fallback(self, monkeypatch):
+        monkeypatch.setattr(backends_module, "ProcessPoolExecutor", _NoProcessPool)
+
+    def test_result_aliasing_input_survives_unlink(self, monkeypatch):
+        self._force_fallback(monkeypatch)
+        big = np.arange(8192, dtype=float)  # 64 KiB: exported to a block
+        backend = get_backend("shared-memory", jobs=2)
+        call = backends_module.Call(fn=_identity, kwargs={"arr": big}, family="t")
+        report = backend.execute([call])
+        (result,) = report.results
+        # The blocks are gone; the result must be process-owned memory.
+        assert backends_module._ATTACHED == {}
+        np.testing.assert_array_equal(result, big)
+        assert result.flags.writeable  # a copy, not the read-only shared view
+        result += 1.0  # writable and backed by live memory
+        np.testing.assert_array_equal(result, big + 1.0)
+
+    def test_nested_aliasing_results_are_copied(self, monkeypatch):
+        self._force_fallback(monkeypatch)
+        big = np.arange(4096, dtype=float)
+        backend = get_backend("shared-memory", jobs=2)
+        call = backends_module.Call(
+            fn=_nested_identity, kwargs={"arr": big}, family="t"
+        )
+        (result,) = backend.execute([call]).results
+        np.testing.assert_array_equal(result["arr"], big)
+        np.testing.assert_array_equal(result["pair"][0], big)
+        assert result["arr"].flags.writeable
+        assert result["pair"][0].flags.writeable
+        assert result["tag"] == "x" and result["pair"][1] == 1
+
+    def test_non_aliasing_results_are_not_copied(self, monkeypatch):
+        self._force_fallback(monkeypatch)
+        big = np.arange(4096, dtype=float)
+        backend = get_backend("shared-memory", jobs=2)
+        call = backends_module.Call(fn=_normal_sum, kwargs={"seed": 3}, family="t")
+        small = backends_module.Call(fn=_identity, kwargs={"arr": big}, family="t")
+        scalar, arr = backend.execute([call, small]).results
+        assert scalar == _normal_sum(3)
+        np.testing.assert_array_equal(arr, big)
+
+
+class TestBrokenPoolResume:
+    """Regression: the broken-pool sequential fallback used to re-run the
+    WHOLE batch in the parent, duplicating completed calls' side effects."""
+
+    def test_resume_skips_completed_calls(self, monkeypatch, tmp_path):
+        # A fallback is only taken when the canary says workers can't
+        # start; here a task killed its worker, so pretend they can't.
+        monkeypatch.setattr(backends_module, "_workers_can_start", lambda: False)
+        marker_dir = str(tmp_path)
+        parent = os.getpid()
+        backend = get_backend("processes", jobs=1)  # FIFO: one worker
+        calls = [
+            backends_module.Call(
+                fn=_record_marker,
+                kwargs={"marker_dir": marker_dir, "index": i},
+                family="resume",
+            )
+            for i in range(5)
+        ]
+        calls[2] = backends_module.Call(
+            fn=_kill_worker,
+            kwargs={"marker_dir": marker_dir, "index": 2, "parent_pid": parent},
+            family="resume",
+        )
+        report = backend.execute(calls)
+        assert report.results == [0, 10, 20, 30, 40]
+        lines = (tmp_path / "markers.log").read_text().splitlines()
+        executed = sorted(int(line.split(":")[0]) for line in lines)
+        assert executed == [0, 1, 2, 3, 4]  # each call ran exactly once
+        # Calls 0-1 ran in a pool worker, the resumed tail in the parent.
+        by_index = {int(l.split(":")[0]): int(l.split(":")[1]) for l in lines}
+        assert by_index[2] == by_index[3] == by_index[4] == parent
+        assert by_index[0] != parent and by_index[1] != parent
+
+    def test_pool_that_never_starts_runs_everything_once(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(backends_module, "ProcessPoolExecutor", _NoProcessPool)
+        backend = get_backend("processes", jobs=2)
+        calls = [
+            backends_module.Call(
+                fn=_record_marker,
+                kwargs={"marker_dir": str(tmp_path), "index": i},
+                family="t",
+            )
+            for i in range(3)
+        ]
+        assert backend.execute(calls).results == [0, 10, 20]
+        lines = (tmp_path / "markers.log").read_text().splitlines()
+        assert sorted(int(line.split(":")[0]) for line in lines) == [0, 1, 2]
+
+
+class TestCancellation:
+    @pytest.mark.parametrize("name", EXECUTABLE_BACKENDS)
+    def test_pre_cancelled_token_runs_nothing(self, name, tmp_path):
+        backend = get_backend(name, jobs=2)
+        token = CancelToken()
+        token.cancel()
+        calls = [
+            backends_module.Call(
+                fn=_record_marker,
+                kwargs={"marker_dir": str(tmp_path), "index": i},
+                family="t",
+            )
+            for i in range(4)
+        ]
+        with pytest.raises(ExecutionCancelled):
+            backend.execute(calls, cancel=token)
+        assert not (tmp_path / "markers.log").exists()
+
+    @pytest.mark.parametrize("name", EXECUTABLE_BACKENDS)
+    def test_cancel_mid_batch_stops_unscheduled_calls(self, name, tmp_path):
+        backend = get_backend(name, jobs=1)  # one worker: FIFO scheduling
+        token = CancelToken()
+        # Call 0 blocks on its own gate; the tail blocks on a second gate
+        # that stays closed until the execute loop has had time to observe
+        # the token — so the only call the single worker can dequeue before
+        # cancellation takes effect is the one racer blocked on "go-rest".
+        calls = [
+            backends_module.Call(
+                fn=_gated,
+                kwargs={
+                    "marker_dir": str(tmp_path),
+                    "index": i,
+                    "gate": "go-first" if i == 0 else "go-rest",
+                },
+                family="gated",
+            )
+            for i in range(8)
+        ]
+        outcome: list = []
+
+        def run():
+            try:
+                backend.execute(calls, cancel=token)
+                outcome.append(None)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                outcome.append(exc)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.time() + 30.0
+        while not (tmp_path / "ran-0").exists() and time.time() < deadline:
+            time.sleep(0.01)
+        assert (tmp_path / "ran-0").exists(), "first call never started"
+        token.cancel()
+        (tmp_path / "go-first").write_text("")  # release the in-flight call
+        time.sleep(0.5)  # let the loop observe the token and cancel the tail
+        (tmp_path / "go-rest").write_text("")  # release the racer, if any
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert isinstance(outcome[0], ExecutionCancelled)
+        assert "unscheduled" in str(outcome[0]) or "cancelled" in str(outcome[0])
+        ran = {int(p.name.split("-")[1]) for p in tmp_path.glob("ran-*")}
+        assert 0 in ran
+        # The in-flight call plus the racers a pool may have dequeued or
+        # pre-fed to its workers before the loop observed the token (a
+        # ProcessPoolExecutor keeps max_workers+1 calls in its feed queue,
+        # beyond cancellation's reach); the unscheduled tail never runs.
+        assert len(ran) <= 4, f"cancellation let {sorted(ran)} run"
+        assert ran.isdisjoint({4, 5, 6, 7}), f"tail calls ran: {sorted(ran)}"
+
+    def test_cancel_token_is_idempotent_and_irreversible(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.raise_if_cancelled()  # no-op while clear
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+        with pytest.raises(ExecutionCancelled):
+            token.raise_if_cancelled()
+
+
+class TestEngineCancellationAndProgress:
+    def test_engine_checks_token_before_running(self):
+        token = CancelToken()
+        token.cancel()
+        engine = ExecutionEngine(
+            jobs=1, use_cache=False, backend="sequential", cancel=token
+        )
+        with pytest.raises(ExecutionCancelled):
+            engine.map_calls(_square, [{"x": 1}], name="sq")
+        assert engine.stats.tasks_executed == 0
+
+    def test_legacy_backend_signatures_are_detected(self):
+        from repro.engine.runner import _backend_accepts_cancel
+
+        class _Legacy:
+            def execute(self, calls):
+                return backends_module.ExecutionReport(results=[], seconds=[])
+
+        assert not _backend_accepts_cancel(_Legacy)
+        assert _backend_accepts_cancel(SequentialBackend)
+        assert _backend_accepts_cancel(backends_module.SharedMemoryBackend)
+
+    def test_progress_callback_sees_batch_snapshots(self):
+        snapshots: list[dict] = []
+        engine = ExecutionEngine(
+            jobs=1,
+            use_cache=False,
+            backend="sequential",
+            progress=snapshots.append,
+        )
+        engine.map_calls(_square, [{"x": v} for v in range(4)], name="sq")
+        assert snapshots, "progress callback never fired"
+        last = snapshots[-1]
+        assert last["tasks_total"] == 4
+        assert last["tasks_executed"] == 4
+        assert last["batch_tasks"] == 4
+        assert last["cache_hits"] == 0
+        assert last["wall_seconds"] >= 0.0

@@ -384,3 +384,82 @@ class TestCollisionScalarBatchParity:
         report = find_collisions(allocation, frequencies)
         assert ctype in {t for t, _ in report.collisions}
         assert not collision_free_mask(allocation, frequencies)[0]
+
+
+class TestCacheRobustness:
+    """The service PR's cache fixes: poisoned entries heal themselves and
+    the hit/miss counters survive concurrent readers."""
+
+    def test_poisoned_entry_is_deleted_and_counted_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key_for("t", {"x": 1}, "v1")
+        cache.put(key, {"value": 41})
+        path = cache.directory / f"{key}.pkl"
+        path.write_bytes(b"\x80\x04 this is not a pickle")
+        assert cache.get(key, default="fallback") == "fallback"
+        assert cache.misses == 1 and cache.hits == 0
+        assert not path.exists(), "poisoned entry left in place"
+        assert not cache.contains(key)  # the slot can heal now
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert cache.hits == 1
+
+    def test_truncated_entry_behaves_like_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key_for("t", {"x": 2}, "v1")
+        cache.put(key, list(range(1000)))
+        path = cache.directory / f"{key}.pkl"
+        path.write_bytes(path.read_bytes()[:20])  # torn write
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_plain_miss_still_counts_without_a_file(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_engine_recomputes_after_poisoned_entry(self, tmp_path):
+        first = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        kwargs = [{"seed": 123}]
+        warm = first.map_calls(_normal_sum, kwargs, name="ns")
+        for path in (tmp_path / "cache").glob("*.pkl"):
+            path.write_bytes(b"garbage")
+        second = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        assert second.map_calls(_normal_sum, kwargs, name="ns") == warm
+        assert second.stats.cache_hits == 0
+        assert second.stats.tasks_executed == 1
+        third = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        assert third.map_calls(_normal_sum, kwargs, name="ns") == warm
+        assert third.stats.cache_hits == 1  # the slot healed
+
+    def test_hit_and_miss_counters_are_thread_safe(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key_for("t", {"x": 3}, "v1")
+        cache.put(key, 7)
+        rounds = 200
+        workers = 8
+
+        def hammer():
+            for _ in range(rounds):
+                assert cache.get(key) == 7
+                cache.get("f" * 64)  # guaranteed miss
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.hits == rounds * workers
+        assert cache.misses == rounds * workers
+
+    def test_cache_survives_pickling_without_its_lock(self, tmp_path):
+        import pickle
+
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key_for("t", {"x": 4}, "v1")
+        cache.put(key, "value")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.get(key) == "value"  # lock was recreated, get works
+        assert clone.hits == cache.hits + 1 or clone.hits == 1
