@@ -1,0 +1,190 @@
+"""Cross-PR performance-trend harness.
+
+Every benchmark in this directory commits its measurements to a
+``BENCH_*.json`` file.  Those files are *snapshots*: each PR regenerates
+the ones its changes touch, and the repository history is the only
+record of how a number moved.  This script folds the snapshots into one
+committed ledger, ``BENCH_trend.json``, so a perf regression shows up as
+a diff in a single file instead of an archaeology session:
+
+* every run collects the speedup-style metrics (any numeric leaf whose
+  key is ``speedup`` or ends in ``_speedup``, plus ``memory_ratio``),
+  the ``speedup_regression`` flags, the ``speedup_context`` noise-floor
+  annotations, and the ``cores`` counts from each ``BENCH_*.json``;
+* the collected metrics become one *row* labelled for the current PR
+  (default ``PR-<n>`` where ``n`` is the next line of ``CHANGES.md``,
+  i.e. the PR being prepared; override with ``--label``).  Re-running
+  replaces the row with the same label, so the script is idempotent
+  within a PR and appends across PRs;
+* ``--check`` exits non-zero naming every file that set
+  ``speedup_regression: true`` anywhere — CI runs this so a regression
+  a benchmark flagged cannot merge silently.
+
+The ``cores`` and ``speedup_context`` fields ride along because a
+sub-1.0x reading on a 1-core CI host is usually the measurement noise
+floor, not a regression — the benchmarks record that context and the
+trend ledger preserves it next to the number (see README
+"Performance").
+
+Standard library only: the harness must run in CI before any optional
+dependency is installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = [
+    "collect_file_metrics",
+    "build_row",
+    "fold_row",
+    "find_regressions",
+    "main",
+]
+
+TREND_FILENAME = "BENCH_trend.json"
+
+#: Numeric leaves collected even though their key is not speedup-shaped.
+EXTRA_METRIC_KEYS = frozenset({"memory_ratio"})
+
+
+def _is_metric_key(key: str) -> bool:
+    return key == "speedup" or key.endswith("_speedup") or key in EXTRA_METRIC_KEYS
+
+
+def _walk(node, path, out):
+    """Depth-first walk recording metrics, flags, contexts and cores."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else key
+            if _is_metric_key(key) and isinstance(value, (int, float)):
+                out["speedups"][child] = value
+            elif key == "speedup_regression":
+                if bool(value):
+                    out["regressions"].append(child)
+            elif key == "speedup_context" and value:
+                out["contexts"][child] = value
+            elif key == "cores" and isinstance(value, int):
+                out["cores"].add(value)
+            else:
+                _walk(value, child, out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            _walk(value, f"{path}[{index}]", out)
+
+
+def collect_file_metrics(path: Path) -> dict:
+    """Summarise one ``BENCH_*.json`` file into a trend entry."""
+    doc = json.loads(path.read_text())
+    out = {"speedups": {}, "regressions": [], "contexts": {}, "cores": set()}
+    _walk(doc, "", out)
+    return {
+        "speedups": dict(sorted(out["speedups"].items())),
+        "regressions": sorted(out["regressions"]),
+        "contexts": dict(sorted(out["contexts"].items())),
+        "cores": sorted(out["cores"]),
+    }
+
+
+def bench_files(directory: Path) -> list[Path]:
+    """The snapshot files, excluding the ledger itself."""
+    return sorted(
+        path
+        for path in directory.glob("BENCH_*.json")
+        if path.name != TREND_FILENAME
+    )
+
+
+def build_row(directory: Path, label: str) -> dict:
+    """Fold every snapshot in *directory* into one labelled trend row."""
+    return {
+        "label": label,
+        "files": {
+            path.name: collect_file_metrics(path) for path in bench_files(directory)
+        },
+    }
+
+
+def fold_row(ledger_path: Path, row: dict) -> dict:
+    """Insert *row* into the ledger, replacing any row with the same label."""
+    if ledger_path.exists():
+        ledger = json.loads(ledger_path.read_text())
+    else:
+        ledger = {"rows": []}
+    rows = [r for r in ledger.get("rows", []) if r.get("label") != row["label"]]
+    rows.append(row)
+    ledger["rows"] = rows
+    ledger_path.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
+    return ledger
+
+
+def find_regressions(directory: Path) -> dict[str, list[str]]:
+    """Map file name -> paths that set ``speedup_regression: true``."""
+    flagged = {}
+    for path in bench_files(directory):
+        regressions = collect_file_metrics(path)["regressions"]
+        if regressions:
+            flagged[path.name] = regressions
+    return flagged
+
+
+def default_label(repo_root: Path) -> str:
+    """``PR-<n>`` where ``n`` is the CHANGES.md line this PR will add."""
+    changes = repo_root / "CHANGES.md"
+    if changes.exists():
+        lines = [line for line in changes.read_text().splitlines() if line.strip()]
+        return f"PR-{len(lines) + 1}"
+    return "PR-1"
+
+
+def main(argv: list[str] | None = None) -> int:
+    directory = Path(__file__).resolve().parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=directory,
+        help="directory holding the BENCH_*.json snapshots",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="trend-row label (default: PR-<next CHANGES.md line>)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any snapshot sets speedup_regression: true",
+    )
+    args = parser.parse_args(argv)
+
+    flagged = find_regressions(args.dir)
+    if args.check:
+        if flagged:
+            for name, paths in sorted(flagged.items()):
+                for path in paths:
+                    print(f"REGRESSION {name}: {path}", file=sys.stderr)
+            return 1
+        print(f"no speedup regressions across {len(bench_files(args.dir))} files")
+        return 0
+
+    label = args.label or default_label(args.dir.parent)
+    row = build_row(args.dir, label)
+    ledger = fold_row(args.dir / TREND_FILENAME, row)
+    metrics = sum(len(entry["speedups"]) for entry in row["files"].values())
+    print(
+        f"{TREND_FILENAME}: row {label!r} folded from "
+        f"{len(row['files'])} files ({metrics} metrics); "
+        f"{len(ledger['rows'])} rows total"
+    )
+    for name, paths in sorted(flagged.items()):
+        for path in paths:
+            print(f"WARNING regression flagged in {name}: {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -468,6 +468,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "fusion_batches": engine.stats.fusion_batches,
                 "cache_hits": engine.stats.cache_hits,
                 "wall_seconds": engine.stats.wall_seconds,
+                "seconds_by_family": dict(engine.stats.seconds_by_family),
+                "seconds_by_phase": dict(engine.stats.seconds_by_phase),
             },
             "result": jsonable(result),
             "text": text,

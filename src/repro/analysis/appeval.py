@@ -41,6 +41,21 @@ Re-running an unchanged sweep is all cache hits; any change to the
 device population, the strategies, or any ``repro`` source invalidates
 exactly as the engine's code-version token dictates.
 
+Routing-cache contract
+----------------------
+Noise-aware compilation shares the process-global routing cache in
+:mod:`repro.compiler.routing`: the weighted-graph structures (CSR cost
+matrix plus lazily-filled per-source Dijkstra predecessor rows) are
+memoised on a content digest of the device's coupling map and edge-error
+map, so every :func:`compile_and_score` task compiling onto the same
+device reuses one ``RoutingWeights`` entry instead of rebuilding it.
+Within a fused engine super-task the whole run shares one worker
+process, so consecutive sub-tasks hit the same cache — the dominant
+per-compile cost collapses to path reconstruction.  The cache changes
+*when* shortest paths are computed, never *what* they are (same weights,
+same tie-breaks), so cached and cold compiles are bit-identical and the
+``fig10``/``appsweep`` goldens pin that.
+
 Ensemble scoring
 ----------------
 A single ``best_device`` per configuration is a noisy estimator of an

@@ -20,10 +20,37 @@ coupling costs ``-log10(1 - e(edge))`` — the log-fidelity the gates
 executed on it will pay — so SWAP traffic detours around the worst
 couplings of a fabricated device.  With no error map it degrades to the
 hop metric.
+
+Routing cache
+-------------
+The weighted shortest-path structure is the noise-aware router's only
+expensive input, and application sweeps compile the *same* device dozens
+of times (every benchmark x width x circuit seed shares it).  It is
+therefore memoised process-wide in an LRU keyed on content — the qubit
+count, the coupling's edge list and the resolved per-edge costs — so any
+two calls that would route over identical weights share one
+:class:`RoutingWeights`, no matter how many distinct ``Device`` objects
+(or pickled copies in an engine worker) carry that content.  Fused engine
+super-tasks running several :func:`repro.analysis.appeval.compile_and_score`
+subtasks in one worker hit the same cache for free.
+
+Within one :class:`RoutingWeights`, Dijkstra trees are computed *lazily
+per source*: scipy's Dijkstra is per-source independent, so computing
+only the rows the router actually queries is bit-identical to the
+historical eager all-pairs run while letting a small circuit on a big
+MCM pay for a handful of sources instead of all of them.  Routes are
+bit-identical either way — same weights, same tie-breaks.
+
+``edge_errors`` content is hashed into the key, so recalibrating or
+scaling a device's error map can never replay a stale tree — it simply
+misses into a fresh entry (see ``tests/test_routing_cache.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,7 +62,16 @@ from repro.circuits.gates import Gate
 from repro.compiler.layout import Layout
 from repro.topology.coupling import CouplingMap
 
-__all__ = ["RoutedCircuit", "route_circuit", "route_circuit_noise_aware"]
+__all__ = [
+    "RoutedCircuit",
+    "RoutingWeights",
+    "route_circuit",
+    "route_circuit_noise_aware",
+    "routing_weights",
+    "routing_cache_stats",
+    "clear_routing_cache",
+    "ROUTING_CACHE_MAXSIZE",
+]
 
 #: Weight assigned to a fully-depolarising coupling (error >= 1): large
 #: enough that any finite-fidelity detour wins, finite so a graph whose
@@ -47,6 +83,11 @@ DEAD_EDGE_WEIGHT = 1.0e9
 #: shorter SWAP chain wins deterministically, and near-zero-error regions
 #: are not traversed "for free" by absurdly long chains.
 HOP_PENALTY = 1.0e-9
+
+#: Distinct (coupling, error-map) weight structures kept alive at once.
+#: Application sweeps touch a handful of devices per worker; 64 covers a
+#: full appsweep ensemble with room to spare while bounding memory.
+ROUTING_CACHE_MAXSIZE = 64
 
 
 @dataclass
@@ -136,12 +177,11 @@ def route_circuit(
     return routed
 
 
-def _edge_weight_matrices(coupling: CouplingMap, edge_errors):
-    """Weighted all-pairs distances and predecessors for the error metric.
+def _edge_costs(coupling: CouplingMap, edge_errors):
+    """Resolve the per-coupling routing costs for the error metric.
 
-    Returns ``(weight, distance, predecessors)`` where ``weight`` is the
-    dense per-edge cost matrix (``inf`` for non-edges) and the other two
-    come from a Dijkstra run over it.  ``edge_errors`` is a
+    Returns ``(edge_u, edge_v, costs)`` aligned arrays — one entry per
+    coupling, endpoints normalised ``u < v``.  ``edge_errors`` is a
     :class:`~repro.device.device.Device` — whose cached
     ``edge_error_arrays()`` feed one vectorised cost computation — or a
     raw mapping, walked per edge (couplings missing from the map cost
@@ -179,28 +219,158 @@ def _edge_weight_matrices(coupling: CouplingMap, edge_errors):
         edge_v = np.asarray([v for _, v in pairs], dtype=np.int64)
         costs = np.asarray(cost_list)
 
-    weight = np.full((n, n), np.inf)
-    weight[edge_u, edge_v] = costs
-    weight[edge_v, edge_u] = costs
-    matrix = csr_matrix(
-        (
-            np.concatenate([costs, costs]),
-            (np.concatenate([edge_u, edge_v]), np.concatenate([edge_v, edge_u])),
-        ),
-        shape=(n, n),
-    )
-    distance, predecessors = shortest_path(
-        matrix, method="D", directed=False, return_predecessors=True
-    )
-    return weight, distance, predecessors
+    return edge_u, edge_v, costs
+
+
+class RoutingWeights:
+    """Error-weighted shortest-path structure with lazy per-source trees.
+
+    Wraps the sparse symmetric cost matrix of one (coupling, error-map)
+    pair.  Dijkstra predecessor rows are computed on first query per
+    source and memoised — scipy's Dijkstra treats sources independently,
+    so a lazily-filled row is bit-identical to the same row of the
+    historical eager all-pairs run (:meth:`predecessor_matrix` pins
+    this in the parity suite).  Endpoint costs for the router's
+    mover tie-break come from a per-edge dict instead of the old dense
+    ``(n, n)`` weight matrix, dropping the O(n^2) allocation entirely.
+
+    Instances are shared through the module cache and may be queried
+    from several engine worker threads at once; row computation is
+    double-checked under a lock.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        costs: np.ndarray,
+    ):
+        self.num_qubits = num_qubits
+        self._matrix = csr_matrix(
+            (
+                np.concatenate([costs, costs]),
+                (np.concatenate([edge_u, edge_v]), np.concatenate([edge_v, edge_u])),
+            ),
+            shape=(num_qubits, num_qubits),
+        )
+        self._cost = {
+            (int(u), int(v)): float(c) for u, v, c in zip(edge_u, edge_v, costs)
+        }
+        self._pred: dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def sources_computed(self) -> int:
+        """Number of source rows whose Dijkstra tree has been built."""
+        return len(self._pred)
+
+    def edge_cost(self, u: int, v: int) -> float:
+        """Routing cost of the coupling between ``u`` and ``v``."""
+        return self._cost[(u, v) if u < v else (v, u)]
+
+    def predecessor_row(self, source: int) -> np.ndarray:
+        """The Dijkstra predecessor row for one source, computed lazily."""
+        row = self._pred.get(source)
+        if row is None:
+            with self._lock:
+                row = self._pred.get(source)
+                if row is None:
+                    _, pred = shortest_path(
+                        self._matrix,
+                        method="D",
+                        directed=False,
+                        indices=[source],
+                        return_predecessors=True,
+                    )
+                    row = pred[0]
+                    self._pred[source] = row
+        return row
+
+    def predecessor_matrix(self) -> np.ndarray:
+        """Eagerly compute every source's tree in one batched call.
+
+        This is the historical all-pairs behaviour; the benchmark's
+        legacy-cost emulation and the lazy-vs-eager parity tests use it.
+        The rows replace (identically) any lazily computed ones.
+        """
+        _, pred = shortest_path(
+            self._matrix, method="D", directed=False, return_predecessors=True
+        )
+        with self._lock:
+            for source in range(self.num_qubits):
+                self._pred[source] = pred[source]
+        return pred
+
+
+_CACHE: OrderedDict[tuple, RoutingWeights] = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _weights_key(num_qubits: int, edge_u, edge_v, costs) -> tuple:
+    """Content digest of one resolved weight structure.
+
+    Keyed on the *resolved* costs (not the raw error map), so two error
+    maps that induce identical weights share one entry — and any change
+    to a device's edge errors changes the digest and misses.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.int64(num_qubits).tobytes())
+    digest.update(np.ascontiguousarray(edge_u, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(edge_v, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(costs, dtype=np.float64).tobytes())
+    return (num_qubits, digest.hexdigest())
+
+
+def routing_weights(coupling: CouplingMap, edge_errors) -> RoutingWeights:
+    """The (cached) weight structure for one coupling + error map.
+
+    Resolving the per-edge costs and hashing them is O(edges) — cheap
+    against even a single-source Dijkstra — so every call pays the
+    digest and repeated compiles of the same device share the trees.
+    """
+    edge_u, edge_v, costs = _edge_costs(coupling, edge_errors)
+    key = _weights_key(coupling.num_qubits, edge_u, edge_v, costs)
+    with _CACHE_LOCK:
+        weights = _CACHE.get(key)
+        if weights is not None:
+            _CACHE.move_to_end(key)
+            _CACHE_STATS["hits"] += 1
+            return weights
+        _CACHE_STATS["misses"] += 1
+        weights = RoutingWeights(coupling.num_qubits, edge_u, edge_v, costs)
+        _CACHE[key] = weights
+        while len(_CACHE) > ROUTING_CACHE_MAXSIZE:
+            _CACHE.popitem(last=False)
+            _CACHE_STATS["evictions"] += 1
+    return weights
+
+
+def routing_cache_stats() -> dict:
+    """Counters + occupancy of the process-wide routing cache."""
+    with _CACHE_LOCK:
+        return {
+            **_CACHE_STATS,
+            "entries": len(_CACHE),
+            "sources_computed": sum(w.sources_computed for w in _CACHE.values()),
+        }
+
+
+def clear_routing_cache() -> None:
+    """Drop every cached weight structure and reset the counters."""
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        for counter in _CACHE_STATS:
+            _CACHE_STATS[counter] = 0
 
 
 def _weighted_path(predecessors: np.ndarray, source: int, target: int) -> list[int]:
-    """Reconstruct one weighted shortest path from the predecessor matrix."""
+    """Reconstruct one weighted shortest path from a predecessor row."""
     path = [target]
     node = target
     while node != source:
-        node = int(predecessors[source, node])
+        node = int(predecessors[node])
         if node < 0:
             raise ValueError(
                 f"qubits {source} and {target} are not connected in the coupling map"
@@ -228,6 +398,11 @@ def route_circuit_noise_aware(
     cheaper (ties towards the lower physical index), mirroring the basic
     router's mover selection.
 
+    The weighted shortest-path structure comes from the process-wide
+    :func:`routing_weights` cache with lazy per-source Dijkstra trees
+    (see the module docstring); routes are bit-identical to the
+    historical per-call eager all-pairs computation.
+
     Parameters
     ----------
     circuit:
@@ -245,7 +420,7 @@ def route_circuit_noise_aware(
     if not edge_errors:
         return route_circuit(circuit, coupling, layout)
 
-    weight, _, predecessors = _edge_weight_matrices(coupling, edge_errors)
+    weights = routing_weights(coupling, edge_errors)
     working = layout.copy()
     physical = QuantumCircuit(num_qubits=coupling.num_qubits, name=circuit.name)
     routed = RoutedCircuit(
@@ -271,10 +446,10 @@ def route_circuit_noise_aware(
         # operands sit on its final edge.  Each SWAP shortens the path by
         # one hop (subpaths of shortest paths are shortest), so the loop
         # terminates after len(path) - 2 swaps.
-        path = _weighted_path(predecessors, p_a, p_b)
+        path = _weighted_path(weights.predecessor_row(p_a), p_a, p_b)
         while len(path) > 2:
-            cost_a = weight[path[0], path[1]]
-            cost_b = weight[path[-1], path[-2]]
+            cost_a = weights.edge_cost(path[0], path[1])
+            cost_b = weights.edge_cost(path[-1], path[-2])
             if (cost_a, path[0]) <= (cost_b, path[-1]):
                 mover, step = path[0], path[1]
                 path = path[1:]

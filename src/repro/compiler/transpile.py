@@ -20,6 +20,7 @@ from repro.compiler.pipeline import (
     default_pipeline,
 )
 from repro.device.device import Device
+from repro.engine.phases import phase
 from repro.topology.coupling import CouplingMap
 
 __all__ = ["TranspiledCircuit", "transpile"]
@@ -49,6 +50,7 @@ def transpile(
         ``"noise-aware"`` detours SWAP traffic around high-error
         couplings using the device's error map.
     """
-    return default_pipeline(layout_method=layout_method, routing=routing).run(
-        circuit, target
-    )
+    with phase("compile"):
+        return default_pipeline(layout_method=layout_method, routing=routing).run(
+            circuit, target
+        )

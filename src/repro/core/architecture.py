@@ -27,6 +27,8 @@ keys all pick it up without further changes.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -47,12 +49,57 @@ __all__ = [
     "Architecture",
     "ArchitectureRegistry",
     "ARCHITECTURES",
+    "ARCHITECTURE_CACHE_MAXSIZE",
     "DEFAULT_TOPOLOGY",
+    "clear_architecture_caches",
     "get_architecture",
 ]
 
 #: The paper's topology; every entry point defaults to it.
 DEFAULT_TOPOLOGY = "heavy-hex"
+
+#: Distinct memoised lattices / allocations kept alive at once.  Sweeps
+#: revisit a handful of (topology, qubit-count) points thousands of
+#: times across chunk tasks; 32 of each bounds memory while covering
+#: every sweep in the repo with room to spare.
+ARCHITECTURE_CACHE_MAXSIZE = 32
+
+# Module-level memo for lattice builds and frequency allocations.  Both
+# are deterministic pure functions — a lattice of (factory, qubit count,
+# name) and an allocation of (plan, spec, lattice content) — and both
+# results are treated as immutable by every consumer, so chunk tasks
+# that used to rebuild identical ideal-frequency allocations per task
+# now share one instance.  Lattice keys hold the factory *object* and
+# allocation keys the frozen plan dataclass, so the keys themselves pin
+# the referenced callables alive (no id-reuse hazard), and allocation
+# keys fingerprint the lattice by content (sites + edges tuples), so
+# pickled lattice copies inside engine workers still hit.
+_LATTICE_CACHE: OrderedDict[tuple, Lattice] = OrderedDict()
+_ALLOCATION_CACHE: OrderedDict[tuple, FrequencyAllocation] = OrderedDict()
+_MEMO_LOCK = threading.Lock()
+
+
+def _memo_get(cache: OrderedDict, key: tuple, build: Callable):
+    with _MEMO_LOCK:
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+            return value
+    # Build outside the lock: lattice/allocation construction is pure,
+    # so a rare duplicate build under contention is only wasted work.
+    value = build()
+    with _MEMO_LOCK:
+        cache[key] = value
+        while len(cache) > ARCHITECTURE_CACHE_MAXSIZE:
+            cache.popitem(last=False)
+    return value
+
+
+def clear_architecture_caches() -> None:
+    """Drop every memoised lattice and allocation (test isolation hook)."""
+    with _MEMO_LOCK:
+        _LATTICE_CACHE.clear()
+        _ALLOCATION_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -82,8 +129,17 @@ class Architecture:
     max_degree: int = 3
 
     def lattice(self, num_qubits: int, name: str | None = None) -> Lattice:
-        """Build a lattice of this topology with exactly ``num_qubits``."""
-        return self.lattice_factory(num_qubits, name=name)
+        """Build (or reuse) a lattice of this topology with ``num_qubits``.
+
+        Factories are deterministic, so repeated builds of the same
+        (topology, qubit count, name) return one shared, never-mutated
+        instance from the module memo.
+        """
+        return _memo_get(
+            _LATTICE_CACHE,
+            (self.lattice_factory, num_qubits, name),
+            lambda: self.lattice_factory(num_qubits, name=name),
+        )
 
     def spec(self, step_ghz: float | None = None) -> FrequencySpec:
         """A :class:`FrequencySpec` sized for this architecture's plan."""
@@ -92,8 +148,20 @@ class Architecture:
     def allocate(
         self, lattice: Lattice, spec: FrequencySpec | None = None
     ) -> FrequencyAllocation:
-        """Label a lattice of this topology under its frequency plan."""
-        return self.plan.allocate(lattice, spec=spec)
+        """Label a lattice of this topology under its frequency plan.
+
+        Allocations are memoised on (plan, spec, lattice content) —
+        plans are pure functions of the lattice's sites/edges, and
+        every consumer treats :class:`FrequencyAllocation` arrays as
+        read-only — so yield chunk tasks that previously re-allocated
+        an identical lattice per chunk now share one instance.  Keying
+        by content (not lattice identity) lets pickled lattice copies
+        in engine workers hit too.
+        """
+        key = (self.plan, spec, lattice.name, tuple(lattice.sites), tuple(lattice.edges))
+        return _memo_get(
+            _ALLOCATION_CACHE, key, lambda: self.plan.allocate(lattice, spec=spec)
+        )
 
 
 class ArchitectureRegistry:

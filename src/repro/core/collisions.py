@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.frequencies import FrequencyAllocation
+from repro.engine.phases import phase
 
 __all__ = [
     "CollisionThresholds",
@@ -216,6 +217,15 @@ def collision_free_mask(
     percent of the batch and the kernel speeds up severalfold (see
     ``benchmarks/bench_engine.py``).
     """
+    with phase("mask"):
+        return _collision_free_mask_impl(allocation, frequencies, thresholds)
+
+
+def _collision_free_mask_impl(
+    allocation: FrequencyAllocation,
+    frequencies: np.ndarray,
+    thresholds: CollisionThresholds | None = None,
+) -> np.ndarray:
     thresholds = thresholds or CollisionThresholds()
     freqs = np.asarray(frequencies, dtype=float)
     if freqs.ndim == 1:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.frequencies import FrequencyAllocation
+from repro.engine.phases import phase
 
 __all__ = [
     "FabricationModel",
@@ -88,9 +89,12 @@ class FabricationModel:
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        ideal = allocation.ideal_frequencies[np.newaxis, :]
-        noise = rng.normal(0.0, self.sigma_ghz, size=(batch_size, allocation.num_qubits))
-        return ideal + noise
+        with phase("sample"):
+            ideal = allocation.ideal_frequencies[np.newaxis, :]
+            noise = rng.normal(
+                0.0, self.sigma_ghz, size=(batch_size, allocation.num_qubits)
+            )
+            return ideal + noise
 
     def with_laser_tuning(self, tuned_sigma_ghz: float = SIGMA_LASER_TUNED_GHZ) -> "FabricationModel":
         """Return a model describing the post-laser-tuning precision.

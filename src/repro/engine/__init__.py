@@ -37,6 +37,7 @@ from repro.engine.backends import (
 )
 from repro.engine.cache import ResultCache, stable_token
 from repro.engine.dispatch import run_calls
+from repro.engine.phases import collecting, phase
 from repro.engine.registry import ExperimentRegistry, ExperimentSpec, did_you_mean
 from repro.engine.runner import EngineStats, ExecutionEngine
 from repro.engine.seeding import spawn_seed_at, spawn_seeds
@@ -62,6 +63,8 @@ __all__ = [
     "did_you_mean",
     "Task",
     "TaskGraph",
+    "phase",
+    "collecting",
     "run_calls",
     "spawn_seeds",
     "spawn_seed_at",

@@ -46,6 +46,7 @@ from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.engine.phases import collecting
 from repro.engine.registry import did_you_mean
 
 __all__ = [
@@ -129,11 +130,19 @@ class ExecutionReport:
     ``workers`` holds opaque worker identifiers (PIDs for processes,
     thread idents for threads) — its size is the number of distinct
     workers that actually executed something.
+
+    ``phases`` carries each call's ``{phase: seconds}`` wall-clock
+    buckets (see :mod:`repro.engine.phases`), measured in whichever
+    worker ran the call.  Fused super-calls report an empty dict here —
+    their per-subtask buckets travel inside the :func:`run_fused`
+    result triples instead.  Defaults to empty so third-party backends
+    that predate phase accounting keep working.
     """
 
     results: list[Any]
     seconds: list[float]
     workers: set[int] = field(default_factory=set)
+    phases: list[dict[str, float]] = field(default_factory=list)
 
 
 @runtime_checkable
@@ -162,45 +171,53 @@ class Backend(Protocol):
         ...
 
 
-def _invoke(fn: Callable[..., Any], kwargs: dict[str, Any]) -> tuple[float, int, Any]:
+def _invoke(
+    fn: Callable[..., Any], kwargs: dict[str, Any]
+) -> tuple[float, int, dict[str, float], Any]:
     """Module-level trampoline so task invocations pickle cleanly.
 
-    Returns ``(seconds, worker_pid, result)`` — the worker times its own
-    execution so per-task-family statistics stay accurate across
-    processes, and reports its PID so the engine can count the workers
-    that *actually* ran tasks (a lazily-filled pool may use fewer
-    processes than it was configured with).
+    Returns ``(seconds, worker_pid, phases, result)`` — the worker times
+    its own execution (and collects the task's per-phase buckets) so
+    per-task-family statistics stay accurate across processes, and
+    reports its PID so the engine can count the workers that *actually*
+    ran tasks (a lazily-filled pool may use fewer processes than it was
+    configured with).
     """
     started = time.perf_counter()
-    result = fn(**kwargs)
-    return time.perf_counter() - started, os.getpid(), result
+    with collecting() as phases:
+        result = fn(**kwargs)
+    return time.perf_counter() - started, os.getpid(), phases, result
 
 
 def _invoke_in_thread(
     fn: Callable[..., Any], kwargs: dict[str, Any]
-) -> tuple[float, int, Any]:
+) -> tuple[float, int, dict[str, float], Any]:
     """Thread-pool trampoline: like :func:`_invoke` but identifies the
     executing *thread*, so ``workers_used`` reflects thread concurrency."""
     started = time.perf_counter()
-    result = fn(**kwargs)
-    return time.perf_counter() - started, threading.get_ident(), result
+    with collecting() as phases:
+        result = fn(**kwargs)
+    return time.perf_counter() - started, threading.get_ident(), phases, result
 
 
-def run_fused(fn: Callable[..., Any], kwargs_list: list[dict[str, Any]]) -> list[tuple[float, Any]]:
+def run_fused(
+    fn: Callable[..., Any], kwargs_list: list[dict[str, Any]]
+) -> list[tuple[float, dict[str, float], Any]]:
     """Execute a fused super-task: every subtask in order, individually timed.
 
-    The engine unpacks the ``(seconds, result)`` pairs back onto the
-    original task indices, so per-family statistics and cache entries
-    stay per-subtask even though the pool only saw one submission.
-    Bit-identity is free: each subtask's kwargs carry its own
-    spawn-derived seed, and execution order inside the group matches the
-    sequential order.
+    The engine unpacks the ``(seconds, phases, result)`` triples back
+    onto the original task indices, so per-family statistics, per-phase
+    buckets and cache entries stay per-subtask even though the pool only
+    saw one submission.  Bit-identity is free: each subtask's kwargs
+    carry its own spawn-derived seed, and execution order inside the
+    group matches the sequential order.
     """
-    out: list[tuple[float, Any]] = []
+    out: list[tuple[float, dict[str, float], Any]] = []
     for kwargs in kwargs_list:
         started = time.perf_counter()
-        result = fn(**kwargs)
-        out.append((time.perf_counter() - started, result))
+        with collecting() as phases:
+            result = fn(**kwargs)
+        out.append((time.perf_counter() - started, phases, result))
     return out
 
 
@@ -210,13 +227,21 @@ def _run_serial(
     """In-process execution of a call batch (also the infra fallback)."""
     results: list[Any] = []
     seconds: list[float] = []
+    phase_buckets: list[dict[str, float]] = []
     for call in calls:
         if cancel is not None:
             cancel.raise_if_cancelled()
         started = time.perf_counter()
-        results.append(call.fn(**call.kwargs))
+        with collecting() as phases:
+            results.append(call.fn(**call.kwargs))
         seconds.append(time.perf_counter() - started)
-    return ExecutionReport(results=results, seconds=seconds, workers={os.getpid()})
+        phase_buckets.append(phases)
+    return ExecutionReport(
+        results=results,
+        seconds=seconds,
+        workers={os.getpid()},
+        phases=phase_buckets,
+    )
 
 
 def fn_picklable(fn: Callable[..., Any]) -> bool:
@@ -283,7 +308,11 @@ class ThreadBackend:
     ) -> ExecutionReport:
         if cancel is not None:
             cancel.raise_if_cancelled()  # don't submit an already-dead batch
-        report = ExecutionReport(results=[None] * len(calls), seconds=[0.0] * len(calls))
+        report = ExecutionReport(
+            results=[None] * len(calls),
+            seconds=[0.0] * len(calls),
+            phases=[{} for _ in calls],
+        )
         with ThreadPoolExecutor(max_workers=min(self.jobs, len(calls))) as pool:
             futures = [
                 pool.submit(_invoke_in_thread, call.fn, dict(call.kwargs))
@@ -296,9 +325,10 @@ class ThreadBackend:
                     raise ExecutionCancelled(
                         f"cancelled with {len(calls) - index} call(s) unscheduled"
                     )
-                seconds, ident, result = future.result()
+                seconds, ident, phases, result = future.result()
                 report.seconds[index] = seconds
                 report.results[index] = result
+                report.phases[index] = phases
                 report.workers.add(ident)
         return report
 
@@ -324,7 +354,11 @@ class ProcessBackend:
             pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(calls)))
         except OSError:
             return _run_serial(calls, cancel)  # process creation refused
-        report = ExecutionReport(results=[None] * len(calls), seconds=[0.0] * len(calls))
+        report = ExecutionReport(
+            results=[None] * len(calls),
+            seconds=[0.0] * len(calls),
+            phases=[{} for _ in calls],
+        )
         broken = False
         completed = 0  # futures [0, completed) are recorded in the report
         try:
@@ -340,7 +374,7 @@ class ProcessBackend:
                             f"cancelled with {len(calls) - index} call(s) unscheduled"
                         )
                     try:
-                        seconds, pid, result = future.result()
+                        seconds, pid, phases, result = future.result()
                     except BrokenProcessPool as exc:
                         if _workers_can_start():
                             # The environment can run workers, so the pool
@@ -360,6 +394,7 @@ class ProcessBackend:
                         break
                     report.seconds[index] = seconds
                     report.results[index] = result
+                    report.phases[index] = phases
                     report.workers.add(pid)
                     completed = index + 1
         except BrokenProcessPool:
@@ -373,6 +408,7 @@ class ProcessBackend:
             tail = _run_serial(calls[completed:], cancel)
             report.results[completed:] = tail.results
             report.seconds[completed:] = tail.seconds
+            report.phases[completed:] = tail.phases
             report.workers |= tail.workers
         return report
 

@@ -40,6 +40,7 @@ from repro.engine.backends import (
     run_fused,
 )
 from repro.engine.cache import ResultCache, code_version_token
+from repro.engine.phases import collecting
 from repro.engine.task import Task, TaskGraph
 
 __all__ = ["ExecutionEngine", "EngineStats"]
@@ -130,6 +131,15 @@ class EngineStats:
         measured per task in whichever process ran it; cache hits cost
         nothing, and with parallel workers the sum can exceed
         ``wall_seconds``.
+    seconds_by_phase:
+        Cumulative execution time per instrumented pipeline phase
+        (``sample``/``mask``/``repair``/``compile``/``score``, see
+        :mod:`repro.engine.phases`), measured inside whichever worker
+        ran each task and shipped home with the result.  Exclusive
+        accounting (a phase's time excludes its nested phases), so the
+        buckets sum to at most the executed-task time; the gap from
+        ``seconds_by_family`` totals is un-instrumented task code.
+        Cache hits contribute nothing, same as ``seconds_by_family``.
     """
 
     jobs: int = 1
@@ -142,6 +152,7 @@ class EngineStats:
     cache_hits: int = 0
     wall_seconds: float = 0.0
     seconds_by_family: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    seconds_by_phase: dict[str, float] = field(default_factory=lambda: defaultdict(float))
 
     @property
     def tasks_per_second(self) -> float:
@@ -357,18 +368,31 @@ class ExecutionEngine:
             report = backend.execute(calls)
         self.stats.workers_used = max(self.stats.workers_used, len(report.workers))
 
+        # Older third-party backends may not populate `phases`; treat a
+        # missing or short list as empty buckets.
+        report_phases = getattr(report, "phases", None) or []
         for position, group in enumerate(groups):
             if len(group) == 1:
                 index = group[0]
                 durations[index] = report.seconds[position]
                 results[index] = report.results[position]
+                if position < len(report_phases):
+                    self._merge_phases(report_phases[position])
             else:
                 self.stats.tasks_fused += len(group)
                 self.stats.fusion_batches += 1
-                for (seconds, result), index in zip(report.results[position], group):
+                for (seconds, phases, result), index in zip(
+                    report.results[position], group
+                ):
                     durations[index] = seconds
                     results[index] = result
+                    self._merge_phases(phases)
         return durations
+
+    def _merge_phases(self, phases: dict[str, float] | None) -> None:
+        if phases:
+            for name, seconds in phases.items():
+                self.stats.seconds_by_phase[name] += seconds
 
     def _auto_select(
         self,
@@ -390,9 +414,11 @@ class ExecutionEngine:
         if cost is None:
             index = pending.pop(0)
             started = time.perf_counter()
-            results[index] = tasks[index].run()
+            with collecting() as phases:
+                results[index] = tasks[index].run()
             cost = time.perf_counter() - started
             durations[index] = cost
+            self._merge_phases(phases)
         remaining = cost * len(pending)
         if remaining < _AUTO_SEQUENTIAL_BELOW:
             return "sequential", cost

@@ -346,6 +346,7 @@ class JobManager:
             "tasks_fused": stats.tasks_fused,
             "cache_hits": stats.cache_hits,
             "wall_seconds": stats.wall_seconds,
+            "seconds_by_phase": dict(stats.seconds_by_phase),
         }
 
     async def _run_job(self, job: Job) -> None:
@@ -539,7 +540,18 @@ class JobManager:
             job.watchers.remove(queue)
 
     def stats(self) -> dict[str, Any]:
-        """Service-level counters plus queue occupancy."""
+        """Service-level counters plus queue occupancy.
+
+        ``seconds_by_phase`` aggregates the per-phase wall-clock buckets
+        (see :mod:`repro.engine.phases`) over every job the manager still
+        knows about, so ``/stats`` can attribute service time to
+        sample/mask/repair/compile/score without walking individual jobs.
+        """
+        seconds_by_phase: dict[str, float] = {}
+        for job in self._jobs.values():
+            snapshot = job.engine_stats or {}
+            for name, seconds in (snapshot.get("seconds_by_phase") or {}).items():
+                seconds_by_phase[name] = seconds_by_phase.get(name, 0.0) + seconds
         return {
             **self.metrics,
             "jobs_known": len(self._jobs),
@@ -547,4 +559,5 @@ class JobManager:
             "queue_size": self.queue_size,
             "queue_used": self._queue.qsize() if self._queue is not None else 0,
             "workers": self.workers,
+            "seconds_by_phase": seconds_by_phase,
         }

@@ -29,6 +29,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.device.device import Device
+from repro.engine.phases import phase
 
 __all__ = ["FidelityScore", "fidelity_product", "fidelity_ratio"]
 
@@ -72,6 +73,14 @@ def fidelity_product(
         :meth:`~repro.device.device.Device.edge_error_arrays`; a raw
         mapping is normalised (and array-ised) per call.
     """
+    with phase("score"):
+        return _fidelity_product_impl(two_qubit_edges, edge_errors)
+
+
+def _fidelity_product_impl(
+    two_qubit_edges: Iterable[tuple[int, int]],
+    edge_errors: Device | Mapping[tuple[int, int], float],
+) -> FidelityScore:
     edges = np.asarray(list(two_qubit_edges), dtype=np.int64).reshape(-1, 2)
     count = edges.shape[0]
     if count == 0:

@@ -74,6 +74,7 @@ class CollisionGraph:
                 triple_lists[int(qubit)].append(index)
         self._edges_by_qubit = [np.asarray(l, dtype=np.int64) for l in edge_lists]
         self._triples_by_qubit = [np.asarray(l, dtype=np.int64) for l in triple_lists]
+        self._neighbors_by_qubit: list[np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # Criterion evaluation (single device, vectorised over constraints)
@@ -192,6 +193,28 @@ class CollisionGraph:
         everything else is invariant under the shift.
         """
         return self._edges_by_qubit[qubit], self._triples_by_qubit[qubit]
+
+    def constraint_neighbors(self, qubit: int) -> np.ndarray:
+        """Sorted qubits sharing a criterion with ``qubit`` (incl. itself).
+
+        Shifting any of these invalidates a precomputed evaluation of
+        ``qubit``'s touched criteria; shifting anything else cannot.
+        The greedy strategy's staged screen uses this as its dirty set.
+        Built lazily in one pass and cached on the graph.
+        """
+        if self._neighbors_by_qubit is None:
+            members: list[set[int]] = [{q} for q in range(self.num_qubits)]
+            for u, v in zip(self.edge_control, self.edge_target):
+                members[int(u)].add(int(v))
+                members[int(v)].add(int(u))
+            for c, a, b in zip(self.triple_control, self.triple_a, self.triple_b):
+                triple = (int(c), int(a), int(b))
+                for q in triple:
+                    members[q].update(triple)
+            self._neighbors_by_qubit = [
+                np.fromiter(sorted(s), count=len(s), dtype=np.int64) for s in members
+            ]
+        return self._neighbors_by_qubit[qubit]
 
     def local_violations(self, frequencies: np.ndarray, qubit: int) -> int:
         """Violated criteria among the constraints touching ``qubit``."""

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.collisions import CollisionThresholds, collision_free_mask
 from repro.core.frequencies import FrequencyAllocation
+from repro.engine.phases import phase
 from repro.tuning.graph import CollisionGraph
 from repro.tuning.models import TunerModel
 from repro.tuning.strategies import GreedyLocalRepair, RepairStrategy, get_strategy
@@ -177,28 +178,29 @@ def repair_batch(
     # its device's violated-criteria count, replacing the per-die
     # Python-level evaluation each repair() call used to open with.
     # Third-party strategies that predate the keyword still work.
-    initials = graph.batch_total_violations(frequencies[collided])
-    takes_initial = "initial_violations" in inspect.signature(
-        tuning.strategy.repair
-    ).parameters
-    for position, index in enumerate(collided):
-        if takes_initial:
-            outcome = tuning.strategy.repair(
-                graph,
-                frequencies[index],
-                tuning.tuner,
-                rng,
-                initial_violations=int(initials[position]),
-            )
-        else:
-            outcome = tuning.strategy.repair(
-                graph, frequencies[index], tuning.tuner, rng
-            )
-        if outcome.changed:
-            repaired[index] = outcome.frequencies
-            tuned_qubits += outcome.tuned_qubits
-            total_tunes += outcome.total_tunes
-            tuned_indices[int(index)] = outcome.tuned_qubit_indices
+    with phase("repair"):
+        initials = graph.batch_total_violations(frequencies[collided])
+        takes_initial = "initial_violations" in inspect.signature(
+            tuning.strategy.repair
+        ).parameters
+        for position, index in enumerate(collided):
+            if takes_initial:
+                outcome = tuning.strategy.repair(
+                    graph,
+                    frequencies[index],
+                    tuning.tuner,
+                    rng,
+                    initial_violations=int(initials[position]),
+                )
+            else:
+                outcome = tuning.strategy.repair(
+                    graph, frequencies[index], tuning.tuner, rng
+                )
+            if outcome.changed:
+                repaired[index] = outcome.frequencies
+                tuned_qubits += outcome.tuned_qubits
+                total_tunes += outcome.total_tunes
+                tuned_indices[int(index)] = outcome.tuned_qubit_indices
     # Only rows a strategy actually changed can differ from the as-fab
     # screening, so the authoritative final recheck runs on that subset
     # (bit-identical to rechecking the full batch, severalfold cheaper

@@ -145,6 +145,15 @@ class GreedyLocalRepair:
     violated criteria among the qubit's touched constraints strictly
     decrease; rounds repeat while they help, up to ``max_rounds``.
 
+    The candidate screen is staged: every round scores all qubits'
+    touched criteria in one vectorised ``per_qubit_violations`` pass
+    (and, for noiseless tuners, batches every candidate's "after" count
+    through one ``batch_total_violations`` call), falling back to scalar
+    re-checks only for qubits whose criteria an earlier accept in the
+    same round has dirtied.  Accepts, landing points and rng consumption
+    are bit-identical to the scalar reference loop
+    (:meth:`_repair_reference`), which the parity suite pins.
+
     Attributes
     ----------
     max_rounds:
@@ -166,6 +175,124 @@ class GreedyLocalRepair:
         rng: np.random.Generator,
         initial_violations: int | None = None,
     ) -> RepairOutcome:
+        initial = (
+            initial_violations
+            if initial_violations is not None
+            else graph.total_violations(frequencies)
+        )
+        if initial == 0 or tuner.is_noop:
+            return _noop(frequencies, initial)
+
+        budget = tuner.budget_for(graph.num_qubits)
+        as_fab = frequencies.astype(float, copy=True)
+        repaired = as_fab.copy()
+        tunes = np.zeros(graph.num_qubits, dtype=np.int64)
+        total = initial
+        sigma = tuner.precision_sigma_ghz
+        reach = tuner.max_shift_ghz
+        # Deterministic landing points before actuation noise: aim every
+        # qubit at its design frequency with the total displacement from
+        # the as-fabricated baseline clipped to the tuner's reach.  The
+        # scalar reference computes exactly these values one at a time.
+        targets = as_fab + np.clip(graph.ideal - as_fab, -reach, reach)
+
+        for _ in range(self.max_rounds):
+            # Staged screen: one vectorised pass scores every qubit's
+            # touched criteria for the round.  per_qubit[q] equals the
+            # scalar loop's per-candidate "before" re-check as long as no
+            # accepted shift has touched one of q's criteria yet, so the
+            # walk below only falls back to a scalar re-check for qubits
+            # dirtied by an earlier accept in the same round.
+            per_qubit = graph.per_qubit_violations(repaired)
+            order = np.argsort(-per_qubit, kind="stable")
+            ranked = order[per_qubit[order] > 0]
+            after_screen = None
+            if sigma <= 0 and ranked.size:
+                # Noiseless actuation: every candidate's landing point is
+                # known up front, so the "after" counts batch into one
+                # device-major pass too.  Row i scores round-start state
+                # with ranked[i] moved to its target; subtracting the
+                # round-start total isolates the touched-criteria delta
+                # (untouched criteria cancel), which is what the scalar
+                # reference measures.
+                candidates = np.repeat(repaired[np.newaxis, :], ranked.size, axis=0)
+                candidates[np.arange(ranked.size), ranked] = targets[ranked]
+                after_screen = (
+                    graph.batch_total_violations(candidates) - total + per_qubit[ranked]
+                )
+            improved = False
+            dirty = np.zeros(graph.num_qubits, dtype=bool)
+            for position, qubit in enumerate(ranked):
+                qubit = int(qubit)
+                if tunes[qubit] >= budget:
+                    continue
+                is_dirty = bool(dirty[qubit])
+                if is_dirty:
+                    edge_idx, triple_idx = graph.touched(qubit)
+                    before = graph.edge_violations(
+                        repaired, edge_idx
+                    ) + graph.triple_violations(repaired, triple_idx)
+                else:
+                    before = int(per_qubit[qubit])
+                if before == 0:
+                    continue  # already fixed by an earlier shift this round
+                # The actuation-noise draw must stay a per-candidate
+                # scalar in exactly this position: the reference draws
+                # conditioned on the evolving before > 0 check, and the
+                # rng stream is pinned bit-identical by the parity suite.
+                noise = rng.normal(0.0, sigma) if sigma > 0 else 0.0
+                if after_screen is not None and not is_dirty:
+                    after = int(after_screen[position])
+                    accepted = after < before
+                    if accepted:
+                        repaired[qubit] = targets[qubit]
+                else:
+                    if not is_dirty:
+                        edge_idx, triple_idx = graph.touched(qubit)
+                    previous = repaired[qubit]
+                    repaired[qubit] = targets[qubit] + noise
+                    after = graph.edge_violations(
+                        repaired, edge_idx
+                    ) + graph.triple_violations(repaired, triple_idx)
+                    accepted = after < before
+                    if not accepted:
+                        repaired[qubit] = previous
+                if accepted:
+                    tunes[qubit] += 1
+                    total += after - before
+                    improved = True
+                    dirty[graph.constraint_neighbors(qubit)] = True
+                    if total == 0:
+                        break
+            if total == 0 or not improved:
+                break
+
+        if not tunes.any():
+            return _noop(frequencies, initial)
+        return RepairOutcome(
+            frequencies=repaired,
+            violations_before=initial,
+            violations_after=graph.total_violations(repaired),
+            tuned_qubits=int((tunes > 0).sum()),
+            total_tunes=int(tunes.sum()),
+            tuned_qubit_indices=tuple(np.flatnonzero(tunes > 0).tolist()),
+        )
+
+    def _repair_reference(
+        self,
+        graph: CollisionGraph,
+        frequencies: np.ndarray,
+        tuner: TunerModel,
+        rng: np.random.Generator,
+        initial_violations: int | None = None,
+    ) -> RepairOutcome:
+        """The historical scalar loop, kept verbatim as the parity oracle.
+
+        ``repair`` must match this qubit-for-qubit: same accepts, same
+        landing points, same rng stream.  The parity suite drives both
+        over random collided batches and compares outcomes *and* final
+        generator states.
+        """
         initial = (
             initial_violations
             if initial_violations is not None

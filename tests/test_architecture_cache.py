@@ -1,0 +1,93 @@
+"""Memoisation of lattice builds and frequency allocations.
+
+``Architecture.lattice`` and ``Architecture.allocate`` are pure given
+their inputs, and the application sweeps rebuild the same handful of
+(topology, num_qubits) pairs hundreds of times — so both are memoised
+process-wide.  The allocation key is a *content* fingerprint (plan,
+spec, lattice name/sites/edges), so a pickled lattice copy in an engine
+worker hits the same entry as the original object.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import (
+    ARCHITECTURES,
+    clear_architecture_caches,
+    get_architecture,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_architecture_caches()
+    yield
+    clear_architecture_caches()
+
+
+class TestLatticeMemo:
+    def test_same_request_returns_same_object(self):
+        arch = get_architecture(None)
+        assert arch.lattice(27) is arch.lattice(27)
+
+    def test_distinct_sizes_distinct_objects(self):
+        arch = get_architecture(None)
+        assert arch.lattice(27) is not arch.lattice(40)
+
+    def test_distinct_architectures_never_collide(self):
+        lattices = {
+            name: get_architecture(name).lattice(20) for name in ARCHITECTURES.names()
+        }
+        assert len({id(lat) for lat in lattices.values()}) == len(lattices)
+
+    def test_clear_forces_rebuild(self):
+        arch = get_architecture(None)
+        first = arch.lattice(27)
+        clear_architecture_caches()
+        assert arch.lattice(27) is not first
+
+
+class TestAllocationMemo:
+    def test_same_lattice_returns_same_allocation(self):
+        arch = get_architecture(None)
+        lattice = arch.lattice(27)
+        assert arch.allocate(lattice) is arch.allocate(lattice)
+
+    def test_pickled_lattice_copy_hits_by_content(self):
+        # Engine workers receive pickled copies; the content fingerprint
+        # must land them on the same entry as the parent's object.
+        arch = get_architecture(None)
+        lattice = arch.lattice(27)
+        original = arch.allocate(lattice)
+        copy = pickle.loads(pickle.dumps(lattice))
+        assert copy is not lattice
+        assert arch.allocate(copy) is original
+
+    def test_memoised_allocation_matches_fresh_build(self):
+        arch = get_architecture(None)
+        lattice = arch.lattice(27)
+        memoised = arch.allocate(lattice)
+        clear_architecture_caches()
+        fresh = arch.allocate(arch.lattice(27))
+        assert memoised is not fresh
+        np.testing.assert_array_equal(
+            memoised.ideal_frequencies, fresh.ideal_frequencies
+        )
+        np.testing.assert_array_equal(memoised.labels, fresh.labels)
+        np.testing.assert_array_equal(
+            memoised.directed_edges, fresh.directed_edges
+        )
+        np.testing.assert_array_equal(
+            memoised.control_triples, fresh.control_triples
+        )
+
+    def test_cross_architecture_allocations_distinct(self):
+        seen = set()
+        for name in ARCHITECTURES.names():
+            arch = get_architecture(name)
+            seen.add(id(arch.allocate(arch.lattice(20))))
+        assert len(seen) == len(ARCHITECTURES)

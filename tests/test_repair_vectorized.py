@@ -1,0 +1,121 @@
+"""Vectorised greedy repair vs the scalar reference oracle.
+
+``GreedyLocalRepair.repair`` batches its candidate screening;
+``GreedyLocalRepair._repair_reference`` is the historical scalar loop
+kept verbatim as the parity oracle.  The contract is bit-identity: same
+accepts, same landing points, same rng consumption — checked here on
+random collided batches by comparing outcomes *and* the generators'
+final bit-level state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import get_architecture
+from repro.core.fabrication import FabricationModel
+from repro.tuning import CollisionGraph, GreedyLocalRepair, TunerModel
+
+
+@pytest.fixture(scope="module")
+def allocation():
+    arch = get_architecture(None)
+    return arch.allocate(arch.lattice(40))
+
+
+@pytest.fixture(scope="module")
+def graph(allocation):
+    return CollisionGraph(allocation)
+
+
+def collided_devices(allocation, graph, sigma, batch, seed):
+    fab = FabricationModel(sigma_ghz=sigma)
+    freqs = fab.sample_batch(allocation, batch, np.random.default_rng(seed))
+    return [f for f in freqs if graph.total_violations(f) > 0]
+
+
+TUNERS = [
+    pytest.param(TunerModel(), id="default-noisy"),
+    pytest.param(TunerModel(precision_sigma_ghz=0.0), id="noiseless-batch-path"),
+    pytest.param(TunerModel(max_tunes_per_qubit=1), id="budget-1"),
+    pytest.param(
+        TunerModel(max_shift_ghz=0.05, precision_sigma_ghz=0.0), id="short-reach"
+    ),
+]
+
+
+class TestGreedyParity:
+    @pytest.mark.parametrize("tuner", TUNERS)
+    @pytest.mark.parametrize("sigma,seed", [(0.05, 11), (0.014, 7)])
+    def test_matches_reference_on_random_collided_batches(
+        self, allocation, graph, tuner, sigma, seed
+    ):
+        strategy = GreedyLocalRepair()
+        devices = collided_devices(allocation, graph, sigma, batch=40, seed=seed)
+        assert devices, "collided sample went empty; raise sigma"
+        for index, freqs in enumerate(devices):
+            rng_fast = np.random.default_rng(1000 + index)
+            rng_ref = np.random.default_rng(1000 + index)
+            fast = strategy.repair(graph, freqs, tuner, rng_fast)
+            ref = strategy._repair_reference(graph, freqs, tuner, rng_ref)
+            np.testing.assert_array_equal(fast.frequencies, ref.frequencies)
+            assert fast.violations_before == ref.violations_before
+            assert fast.violations_after == ref.violations_after
+            assert fast.tuned_qubits == ref.tuned_qubits
+            assert fast.total_tunes == ref.total_tunes
+            assert fast.tuned_qubit_indices == ref.tuned_qubit_indices
+            # Stream parity: any divergence in *when* noise is drawn
+            # would desynchronise every later device in a batch.
+            assert rng_fast.bit_generator.state == rng_ref.bit_generator.state
+
+    @pytest.mark.parametrize("tuner", TUNERS)
+    def test_initial_violations_shortcut_matches(self, allocation, graph, tuner):
+        strategy = GreedyLocalRepair()
+        [freqs] = collided_devices(allocation, graph, 0.05, batch=8, seed=3)[:1]
+        initial = graph.total_violations(freqs)
+        fast = strategy.repair(
+            graph, freqs, tuner, np.random.default_rng(5), initial_violations=initial
+        )
+        ref = strategy._repair_reference(
+            graph, freqs, tuner, np.random.default_rng(5), initial_violations=initial
+        )
+        np.testing.assert_array_equal(fast.frequencies, ref.frequencies)
+        assert fast.total_tunes == ref.total_tunes
+
+    def test_noop_tuner_consumes_no_randomness(self, graph, allocation):
+        [freqs] = collided_devices(allocation, graph, 0.05, batch=8, seed=3)[:1]
+        rng = np.random.default_rng(9)
+        state = rng.bit_generator.state
+        outcome = GreedyLocalRepair().repair(
+            graph, freqs, TunerModel(max_tunes_per_qubit=0), rng
+        )
+        assert outcome.frequencies is freqs
+        assert rng.bit_generator.state == state
+
+
+class TestConstraintNeighbors:
+    def test_includes_self(self, graph):
+        for qubit in range(graph.num_qubits):
+            assert qubit in graph.constraint_neighbors(qubit)
+
+    def test_symmetric(self, graph):
+        for qubit in range(graph.num_qubits):
+            for other in graph.constraint_neighbors(qubit):
+                assert qubit in graph.constraint_neighbors(int(other))
+
+    def test_matches_edge_and_triple_membership(self, graph):
+        expected = [{q} for q in range(graph.num_qubits)]
+        for u, v in zip(graph.edge_control, graph.edge_target):
+            expected[int(u)].add(int(v))
+            expected[int(v)].add(int(u))
+        for c, a, b in zip(graph.triple_control, graph.triple_a, graph.triple_b):
+            for q in (int(c), int(a), int(b)):
+                expected[q].update({int(c), int(a), int(b)})
+        for qubit in range(graph.num_qubits):
+            assert set(graph.constraint_neighbors(qubit).tolist()) == expected[qubit]
+
+    def test_sorted_and_stable(self, graph):
+        first = graph.constraint_neighbors(0)
+        assert list(first) == sorted(first)
+        assert graph.constraint_neighbors(0) is first  # memoised

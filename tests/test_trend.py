@@ -1,0 +1,125 @@
+"""The cross-PR perf-trend harness (``benchmarks/trend.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TREND_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "trend.py"
+
+
+@pytest.fixture(scope="module")
+def trend():
+    spec = importlib.util.spec_from_file_location("trend", TREND_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def bench_dir(tmp_path):
+    (tmp_path / "BENCH_alpha.json").write_text(
+        json.dumps(
+            {
+                "speedup": 2.5,
+                "speedup_regression": False,
+                "cores": 4,
+                "nested": {
+                    "kernel_speedup": 10.0,
+                    "speedup_context": "noise floor on 1 core",
+                    "rows": [{"speedup": 1.1}],
+                },
+                "seconds": 0.5,
+            }
+        )
+    )
+    (tmp_path / "BENCH_beta.json").write_text(
+        json.dumps({"section": {"speedup": 0.8, "speedup_regression": True}})
+    )
+    return tmp_path
+
+
+class TestCollection:
+    def test_collects_speedups_flags_contexts_cores(self, trend, bench_dir):
+        entry = trend.collect_file_metrics(bench_dir / "BENCH_alpha.json")
+        assert entry["speedups"] == {
+            "speedup": 2.5,
+            "nested.kernel_speedup": 10.0,
+            "nested.rows[0].speedup": 1.1,
+        }
+        assert entry["regressions"] == []
+        assert entry["contexts"] == {
+            "nested.speedup_context": "noise floor on 1 core"
+        }
+        assert entry["cores"] == [4]
+
+    def test_regression_flag_paths(self, trend, bench_dir):
+        entry = trend.collect_file_metrics(bench_dir / "BENCH_beta.json")
+        assert entry["regressions"] == ["section.speedup_regression"]
+
+    def test_ledger_excluded_from_snapshots(self, trend, bench_dir):
+        (bench_dir / trend.TREND_FILENAME).write_text("{}")
+        names = [path.name for path in trend.bench_files(bench_dir)]
+        assert trend.TREND_FILENAME not in names
+        assert names == ["BENCH_alpha.json", "BENCH_beta.json"]
+
+
+class TestFolding:
+    def test_row_contains_every_snapshot(self, trend, bench_dir):
+        row = trend.build_row(bench_dir, "PR-1")
+        assert set(row["files"]) == {"BENCH_alpha.json", "BENCH_beta.json"}
+
+    def test_fold_appends_across_labels(self, trend, bench_dir):
+        ledger_path = bench_dir / trend.TREND_FILENAME
+        trend.fold_row(ledger_path, trend.build_row(bench_dir, "PR-1"))
+        ledger = trend.fold_row(ledger_path, trend.build_row(bench_dir, "PR-2"))
+        assert [row["label"] for row in ledger["rows"]] == ["PR-1", "PR-2"]
+
+    def test_refold_same_label_is_idempotent(self, trend, bench_dir):
+        ledger_path = bench_dir / trend.TREND_FILENAME
+        trend.fold_row(ledger_path, trend.build_row(bench_dir, "PR-1"))
+        first = ledger_path.read_text()
+        trend.fold_row(ledger_path, trend.build_row(bench_dir, "PR-1"))
+        assert ledger_path.read_text() == first
+
+
+class TestCheck:
+    def test_check_fails_naming_regressed_file(self, trend, bench_dir, capsys):
+        assert trend.main(["--dir", str(bench_dir), "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "BENCH_beta.json" in err
+        assert "section.speedup_regression" in err
+
+    def test_check_passes_without_flags(self, trend, bench_dir):
+        (bench_dir / "BENCH_beta.json").write_text(json.dumps({"speedup": 1.2}))
+        assert trend.main(["--dir", str(bench_dir), "--check"]) == 0
+
+    def test_fold_mode_warns_but_succeeds(self, trend, bench_dir, capsys):
+        assert trend.main(["--dir", str(bench_dir), "--label", "PR-X"]) == 0
+        captured = capsys.readouterr()
+        assert "WARNING" in captured.err
+        ledger = json.loads((bench_dir / trend.TREND_FILENAME).read_text())
+        assert [row["label"] for row in ledger["rows"]] == ["PR-X"]
+
+
+class TestDefaultLabel:
+    def test_next_changes_line(self, trend, tmp_path):
+        (tmp_path / "CHANGES.md").write_text("- PR 1: a\n- PR 2: b\n")
+        assert trend.default_label(tmp_path) == "PR-3"
+
+    def test_without_changes_file(self, trend, tmp_path):
+        assert trend.default_label(tmp_path) == "PR-1"
+
+    def test_committed_ledger_has_this_pr_row(self, trend):
+        # The repository commits the ledger; the row for the PR being
+        # prepared must exist and cover every committed snapshot.
+        ledger_path = TREND_PATH.parent / trend.TREND_FILENAME
+        ledger = json.loads(ledger_path.read_text())
+        labels = [row["label"] for row in ledger["rows"]]
+        assert labels, "committed BENCH_trend.json has no rows"
+        latest = ledger["rows"][-1]
+        snapshot_names = {path.name for path in trend.bench_files(TREND_PATH.parent)}
+        assert set(latest["files"]) == snapshot_names
