@@ -32,6 +32,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs.metrics import parse_prometheus  # noqa: E402
 from repro.service.http import request  # noqa: E402
 
 _LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
@@ -103,7 +104,48 @@ async def exercise_service(host: str, port: int) -> dict:
     check(stats["submitted"] == 2, f"stats.submitted = {stats['submitted']}")
     check(stats["coalesced"] == 1, f"stats.coalesced = {stats['coalesced']}")
     check(stats["succeeded"] == 1, f"stats.succeeded = {stats['succeeded']}")
-    return {"job": snapshot, "result": result, "stats": stats}
+
+    # The Prometheus endpoint must parse and carry the queue/coalescing/
+    # retry series (the retry family is pre-registered at zero, so it is
+    # present even on a clean run).
+    status, headers, metrics_text = await request(host, port, "GET", "/metrics")
+    check(status == 200, f"/metrics returned {status}")
+    check(
+        "text/plain" in headers.get("content-type", ""),
+        f"/metrics content-type = {headers.get('content-type')!r}",
+    )
+    series = parse_prometheus(metrics_text)
+    submissions = series.get("repro_service_submissions_total", {})
+    check(
+        submissions.get((("outcome", "accepted"),)) == 1.0,
+        f"metrics accepted = {submissions.get((('outcome', 'accepted'),))}",
+    )
+    check(
+        submissions.get((("outcome", "coalesced"),)) == 1.0,
+        f"metrics coalesced = {submissions.get((('outcome', 'coalesced'),))}",
+    )
+    check(
+        () in series.get("repro_service_queue_depth", {}),
+        "queue-depth gauge missing from /metrics",
+    )
+    check(
+        "repro_service_retries_total" in series,
+        "retry counter family missing from /metrics",
+    )
+    check(
+        series.get("repro_service_jobs_total", {}).get((("state", "succeeded"),))
+        == 1.0,
+        "succeeded-jobs counter missing or wrong in /metrics",
+    )
+    metrics_summary = {
+        "series_families": len(series),
+        "submissions_accepted": submissions.get((("outcome", "accepted"),)),
+        "submissions_coalesced": submissions.get((("outcome", "coalesced"),)),
+    }
+    return {
+        "job": snapshot, "result": result, "stats": stats,
+        "metrics": metrics_summary,
+    }
 
 
 def cli_reference(env: dict) -> dict:

@@ -30,7 +30,19 @@ Subcommands
     (comma-separated) and ``--routing NAME`` selects a registered
     routing strategy (``basic`` or ``noise-aware``).  ``--dump-json
     PATH`` writes the experiment's full result — every numeric field,
-    confidence intervals included — to a machine-readable JSON file.
+    confidence intervals included — to a machine-readable JSON file,
+    along with engine statistics and routing/result-cache counters.
+    ``--trace PATH`` records a span trace of the run (engine batches,
+    per-task and per-phase spans, worker-process spans re-parented under
+    the submitting task): a ``.jsonl`` path writes one span per line,
+    anything else writes Chrome trace-event JSON loadable in Perfetto
+    or ``chrome://tracing``.  ``--log-level``/``--log-json`` configure
+    the ``repro.*`` structured-logging spine (``REPRO_LOG_LEVEL`` sets
+    the default level).
+``trace <path>``
+    Summarize a trace file produced by ``run --trace``: span count,
+    top spans by duration, per-name rollup and the critical path.
+    ``--json`` emits the summary as JSON instead of text.
 ``list``
     Show every registered experiment, topology, repair strategy,
     benchmark, routing strategy and execution backend.
@@ -45,10 +57,12 @@ Subcommands
     ``--rate``/``--burst`` enable per-client token-bucket rate limiting,
     ``--max-attempts`` caps transient-failure retries and
     ``--jobs``/``--backend``/``--no-cache`` configure each job's
-    execution engine exactly like ``run``.  Submissions with identical
-    experiment + parameters + code version coalesce onto one in-flight
-    job.  See the README's "Reproduction as a service" section for the
-    endpoint reference.
+    execution engine exactly like ``run``, and
+    ``--log-level``/``--log-json`` the logging spine.  Submissions with
+    identical experiment + parameters + code version coalesce onto one
+    in-flight job.  ``GET /metrics`` exposes the process-wide metrics
+    registry in Prometheus text format.  See the README's "Reproduction
+    as a service" section for the endpoint reference.
 
 Unknown experiment or topology names exit with status 2 and a
 did-you-mean suggestion from the corresponding registry.
@@ -67,6 +81,9 @@ Examples
     python -m repro run fig10 --routing noise-aware --benchmarks bv,qaoa
     python -m repro run appsweep --jobs 4 --batch 400
     python -m repro run fig4 --dump-json fig4.json
+    python -m repro run fig4 --trace fig4.trace.json --backend processes
+    python -m repro trace fig4.trace.json --top 5
+    python -m repro run fig4 --log-level debug
     python -m repro run fig4 --backend threads --jobs 4
     python -m repro run fig8 --jobs 4 --batch 2000
     python -m repro cache clear
@@ -77,6 +94,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -85,8 +103,12 @@ from repro.analysis.registry import EXPERIMENTS
 from repro.analysis.reporting import jsonable
 from repro.circuits.benchmarks import BENCHMARK_NAMES
 from repro.compiler.pipeline import ROUTING_STRATEGIES
+from repro.compiler.routing import routing_cache_stats
 from repro.core.architecture import ARCHITECTURES
 from repro.engine import BACKENDS, ExecutionEngine, ResultCache, did_you_mean
+from repro.obs import configure_logging
+from repro.obs import tracing as obs_tracing
+from repro.obs.export import format_summary, load_trace, summarize, write_trace
 from repro.stats import StatsOptions
 from repro.tuning import STRATEGIES, TuningOptions
 
@@ -204,12 +226,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the experiment's result (CIs included) to a JSON file",
     )
     run.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record a span trace of the run (.jsonl = one span per "
+        "line, anything else = Chrome trace-event JSON for Perfetto)",
+    )
+    run.add_argument(
         "--full",
         action="store_true",
         help="paper-sized configuration sweep (slow)",
     )
     run.add_argument(
         "--quiet", "-q", action="store_true", help="suppress the result table"
+    )
+    _add_logging_flags(run)
+
+    trace = sub.add_parser(
+        "trace", help="summarize a trace file produced by `run --trace`"
+    )
+    trace.add_argument("path", type=Path, help="trace file (.jsonl or Chrome)")
+    trace.add_argument(
+        "--top", type=int, default=10, help="longest spans to show (default 10)"
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
     )
 
     sub.add_parser("list", help="list registered experiments")
@@ -267,7 +309,23 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the on-disk result cache",
     )
+    _add_logging_flags(serve)
     return parser
+
+
+def _add_logging_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="repro.* log level (debug, info, warning, error; "
+        "default: $REPRO_LOG_LEVEL or warning)",
+    )
+    sub.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log lines as JSON objects",
+    )
 
 
 def _cmd_list() -> int:
@@ -310,6 +368,11 @@ def _cmd_cache(action: str) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        configure_logging(level=args.log_level, json_format=args.log_json)
+    except ValueError as exc:
+        print(f"invalid logging options: {exc}", file=sys.stderr)
+        return 2
     try:
         spec = EXPERIMENTS.get(args.experiment)
     except KeyError as exc:
@@ -427,22 +490,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
+    tracer = obs_tracing.Tracer() if args.trace is not None else None
     engine = ExecutionEngine(
-        jobs=args.jobs, use_cache=not args.no_cache, backend=args.backend
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        backend=args.backend,
+        tracer=tracer,
     )
+
+    def _run() -> tuple:
+        return spec.runner(
+            engine,
+            seed=args.seed,
+            batch_size=args.batch,
+            full=args.full,
+            stats=stats,
+            topology=args.topology,
+            tuning=tuning,
+            benchmarks=benchmarks,
+            routing=args.routing,
+        )
+
     started = time.perf_counter()
-    result, text = spec.runner(
-        engine,
-        seed=args.seed,
-        batch_size=args.batch,
-        full=args.full,
-        stats=stats,
-        topology=args.topology,
-        tuning=tuning,
-        benchmarks=benchmarks,
-        routing=args.routing,
-    )
+    if tracer is not None:
+        with tracer.activate():
+            with obs_tracing.span("run:" + spec.name):
+                result, text = _run()
+    else:
+        result, text = _run()
     elapsed = time.perf_counter() - started
+
+    if tracer is not None:
+        write_trace(tracer.spans, str(args.trace))
+        print(
+            f"[trace] {len(tracer)} span(s) written to {args.trace} "
+            f"(trace id {tracer.trace_id})"
+        )
 
     if not args.quiet:
         print(f"[{spec.name}] {spec.description}")
@@ -468,8 +551,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "fusion_batches": engine.stats.fusion_batches,
                 "cache_hits": engine.stats.cache_hits,
                 "wall_seconds": engine.stats.wall_seconds,
-                "seconds_by_family": dict(engine.stats.seconds_by_family),
-                "seconds_by_phase": dict(engine.stats.seconds_by_phase),
+                "seconds_by_family": jsonable(dict(engine.stats.seconds_by_family)),
+                "seconds_by_phase": jsonable(dict(engine.stats.seconds_by_phase)),
+                "routing_cache": routing_cache_stats(),
+                "result_cache": (
+                    engine.cache.stats() if engine.cache is not None else None
+                ),
             },
             "result": jsonable(result),
             "text": text,
@@ -481,11 +568,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        spans = load_trace(str(args.path))
+    except FileNotFoundError:
+        print(f"no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"unreadable trace file {args.path}: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize(spans, top=args.top)
+    if args.json:
+        print(json.dumps(jsonable(summary), indent=2))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.service import JobManager, RateLimiter, RetryPolicy, ServiceServer
 
+    try:
+        configure_logging(level=args.log_level, json_format=args.log_json)
+    except ValueError as exc:
+        print(f"invalid logging options: {exc}", file=sys.stderr)
+        return 2
     if args.backend is not None and args.backend not in BACKENDS:
         known = ", ".join(BACKENDS.names())
         suggestion = did_you_mean(args.backend, BACKENDS.names())
@@ -544,14 +653,24 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "cache":
-        return _cmd_cache(args.action)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "cache":
+            return _cmd_cache(args.action)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that quit early (`repro trace
+        # ... | head`): not an error.  Point stdout at devnull so the
+        # interpreter's exit-time flush doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     parser.print_help()
     return 1
 

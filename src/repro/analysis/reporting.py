@@ -25,8 +25,9 @@ def jsonable(value: Any, depth: int = 0) -> Any:
     """Flatten an arbitrary result object into JSON-serialisable types.
 
     Dataclasses recurse over their comparable fields, numpy arrays
-    become nested lists, mappings stringify non-string keys, and
-    anything unrecognised collapses to ``repr``.  Every number an
+    become nested lists, mappings stringify non-string keys and are
+    emitted with sorted keys, and anything unrecognised collapses to
+    ``repr``.  Every number an
     experiment produces — including the confidence-interval bounds
     carried by :class:`repro.core.yield_model.YieldResult` fields —
     survives the conversion.
@@ -48,10 +49,14 @@ def jsonable(value: Any, depth: int = 0) -> Any:
             if f.compare
         }
     if isinstance(value, dict):
-        return {
+        # Sorted keys make the output deterministic regardless of the
+        # mapping's insertion order (defaultdicts populated per-phase or
+        # per-family arrive in execution order, which varies by backend).
+        converted = {
             (k if isinstance(k, str) else repr(k)): jsonable(v, depth + 1)
             for k, v in value.items()
         }
+        return {k: converted[k] for k in sorted(converted)}
     if isinstance(value, (list, tuple, set, frozenset)):
         items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
         return [jsonable(v, depth + 1) for v in items]

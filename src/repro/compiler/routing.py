@@ -60,6 +60,7 @@ from scipy.sparse.csgraph import shortest_path
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate
 from repro.compiler.layout import Layout
+from repro.obs.metrics import REGISTRY
 from repro.topology.coupling import CouplingMap
 
 __all__ = [
@@ -307,6 +308,16 @@ _CACHE: OrderedDict[tuple, RoutingWeights] = OrderedDict()
 _CACHE_LOCK = threading.Lock()
 _CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
+#: Mirror of ``_CACHE_STATS`` on the process metrics registry — worker
+#: processes increment their local registry and the engine merges the
+#: shipped deltas, so ``/metrics`` sees routing traffic from every
+#: process, which the dict above (engine-process-only) cannot.
+_CACHE_EVENTS = REGISTRY.counter(
+    "repro_routing_cache_events_total",
+    "Routing weights cache traffic by outcome (hit, miss, eviction)",
+    labels=("event",),
+)
+
 
 def _weights_key(num_qubits: int, edge_u, edge_v, costs) -> tuple:
     """Content digest of one resolved weight structure.
@@ -337,13 +348,16 @@ def routing_weights(coupling: CouplingMap, edge_errors) -> RoutingWeights:
         if weights is not None:
             _CACHE.move_to_end(key)
             _CACHE_STATS["hits"] += 1
+            _CACHE_EVENTS.inc(event="hit")
             return weights
         _CACHE_STATS["misses"] += 1
+        _CACHE_EVENTS.inc(event="miss")
         weights = RoutingWeights(coupling.num_qubits, edge_u, edge_v, costs)
         _CACHE[key] = weights
         while len(_CACHE) > ROUTING_CACHE_MAXSIZE:
             _CACHE.popitem(last=False)
             _CACHE_STATS["evictions"] += 1
+            _CACHE_EVENTS.inc(event="eviction")
     return weights
 
 

@@ -48,6 +48,12 @@ import numpy as np
 
 from repro.engine.phases import collecting
 from repro.engine.registry import did_you_mean
+from repro.obs.logs import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import collect_spans
+from repro.obs.tracing import span as trace_span
+
+_log = get_logger("engine.backends")
 
 __all__ = [
     "Call",
@@ -115,12 +121,16 @@ class Call:
     """One unit of backend work: ``fn(**kwargs)`` plus its task family.
 
     ``family`` is diagnostic only (worker-death error messages); the
-    engine owns the mapping back to task indices.
+    engine owns the mapping back to task indices.  ``trace`` asks the
+    executing worker to collect spans for this call (see
+    :mod:`repro.obs.tracing`) and ship them home in the report — off by
+    default so untraced runs pay nothing.
     """
 
     fn: Callable[..., Any]
     kwargs: dict[str, Any]
     family: str = "task"
+    trace: bool = False
 
 
 @dataclass
@@ -137,12 +147,25 @@ class ExecutionReport:
     their per-subtask buckets travel inside the :func:`run_fused`
     result triples instead.  Defaults to empty so third-party backends
     that predate phase accounting keep working.
+
+    ``spans`` carries each call's collected span records (empty unless
+    the call asked for tracing via ``Call.trace``); like ``phases``,
+    fused super-calls report an empty list here and their per-subtask
+    spans travel inside the :func:`run_fused` result tuples.
+
+    ``metrics`` carries each call's metrics-registry delta (``None``
+    when nothing moved or the call ran in the engine's own process —
+    see :meth:`repro.obs.metrics.MetricsRegistry.delta_since`); the
+    engine merges cross-process deltas at report time.  Both new
+    fields default to empty so third-party backends keep working.
     """
 
     results: list[Any]
     seconds: list[float]
     workers: set[int] = field(default_factory=set)
     phases: list[dict[str, float]] = field(default_factory=list)
+    spans: list[list[dict]] = field(default_factory=list)
+    metrics: list[Any] = field(default_factory=list)
 
 
 @runtime_checkable
@@ -171,38 +194,75 @@ class Backend(Protocol):
         ...
 
 
+def _traced_call(
+    fn: Callable[..., Any], kwargs: dict[str, Any], trace: bool, family: str
+) -> tuple[dict[str, float], list[dict], Any]:
+    """Run one task under the phase collector (always) and, when asked,
+    a span collector with a ``task:<family>`` root span.
+
+    The root span carries ``parent=None`` — the worker knows nothing
+    about the submitting task — and the engine re-parents it under the
+    span active on the submitting thread when it adopts the shipment.
+    """
+    if trace:
+        with collect_spans() as spans:
+            with trace_span("task:" + family):
+                with collecting() as phases:
+                    result = fn(**kwargs)
+        return phases, spans, result
+    with collecting() as phases:
+        result = fn(**kwargs)
+    return phases, [], result
+
+
 def _invoke(
-    fn: Callable[..., Any], kwargs: dict[str, Any]
-) -> tuple[float, int, dict[str, float], Any]:
+    fn: Callable[..., Any],
+    kwargs: dict[str, Any],
+    trace: bool = False,
+    family: str = "task",
+) -> tuple[float, int, dict[str, float], list[dict], Any, Any]:
     """Module-level trampoline so task invocations pickle cleanly.
 
-    Returns ``(seconds, worker_pid, phases, result)`` — the worker times
-    its own execution (and collects the task's per-phase buckets) so
+    Returns ``(seconds, worker_pid, phases, spans, metrics_delta,
+    result)`` — the worker times its own execution (and collects the
+    task's per-phase buckets, plus its spans when ``trace`` is set) so
     per-task-family statistics stay accurate across processes, and
     reports its PID so the engine can count the workers that *actually*
     ran tasks (a lazily-filled pool may use fewer processes than it was
-    configured with).
+    configured with).  ``metrics_delta`` carries what the call added to
+    this worker's metrics registry (cache/routing counters incremented
+    inside task code), so the engine-side registry sees increments made
+    in other processes.
     """
     started = time.perf_counter()
-    with collecting() as phases:
-        result = fn(**kwargs)
-    return time.perf_counter() - started, os.getpid(), phases, result
+    marks = REGISTRY.checkpoint()
+    phases, spans, result = _traced_call(fn, kwargs, trace, family)
+    delta = REGISTRY.delta_since(marks)
+    return time.perf_counter() - started, os.getpid(), phases, spans, delta, result
 
 
 def _invoke_in_thread(
-    fn: Callable[..., Any], kwargs: dict[str, Any]
-) -> tuple[float, int, dict[str, float], Any]:
+    fn: Callable[..., Any],
+    kwargs: dict[str, Any],
+    trace: bool = False,
+    family: str = "task",
+) -> tuple[float, int, dict[str, float], list[dict], Any, Any]:
     """Thread-pool trampoline: like :func:`_invoke` but identifies the
-    executing *thread*, so ``workers_used`` reflects thread concurrency."""
+    executing *thread*, so ``workers_used`` reflects thread concurrency.
+    No metrics delta: worker threads share the engine process's registry,
+    so their increments are already booked (shipping them home again
+    would double count)."""
     started = time.perf_counter()
-    with collecting() as phases:
-        result = fn(**kwargs)
-    return time.perf_counter() - started, threading.get_ident(), phases, result
+    phases, spans, result = _traced_call(fn, kwargs, trace, family)
+    return time.perf_counter() - started, threading.get_ident(), phases, spans, None, result
 
 
 def run_fused(
-    fn: Callable[..., Any], kwargs_list: list[dict[str, Any]]
-) -> list[tuple[float, dict[str, float], Any]]:
+    fn: Callable[..., Any],
+    kwargs_list: list[dict[str, Any]],
+    trace: bool = False,
+    family: str = "task",
+) -> list[tuple]:
     """Execute a fused super-task: every subtask in order, individually timed.
 
     The engine unpacks the ``(seconds, phases, result)`` triples back
@@ -211,36 +271,58 @@ def run_fused(
     saw one submission.  Bit-identity is free: each subtask's kwargs
     carry its own spawn-derived seed, and execution order inside the
     group matches the sequential order.
+
+    With ``trace`` set, each subtask additionally collects its own span
+    list under a ``task:<family>`` root and the tuples become
+    ``(seconds, phases, spans, result)`` — a 4-tuple, so the engine (and
+    nothing else) distinguishes the shapes by length.  The super-call
+    itself emits no span: the trace shows one ``task:<family>`` span per
+    subtask regardless of fusion, keeping span trees backend-invariant.
     """
-    out: list[tuple[float, dict[str, float], Any]] = []
+    out: list[tuple] = []
     for kwargs in kwargs_list:
         started = time.perf_counter()
-        with collecting() as phases:
-            result = fn(**kwargs)
-        out.append((time.perf_counter() - started, phases, result))
+        phases, spans, result = _traced_call(fn, kwargs, trace, family)
+        elapsed = time.perf_counter() - started
+        if trace:
+            out.append((elapsed, phases, spans, result))
+        else:
+            out.append((elapsed, phases, result))
     return out
 
 
 def _run_serial(
     calls: Sequence[Call], cancel: CancelToken | None = None
 ) -> ExecutionReport:
-    """In-process execution of a call batch (also the infra fallback)."""
+    """In-process execution of a call batch (also the infra fallback).
+
+    Traced calls collect their spans in a dedicated frame (shadowing any
+    collector active on the engine thread) and ship them through
+    ``report.spans`` like every pooled backend, so span trees come out
+    identical no matter which backend ran the batch.
+    """
     results: list[Any] = []
     seconds: list[float] = []
     phase_buckets: list[dict[str, float]] = []
+    span_lists: list[list[dict]] = []
     for call in calls:
         if cancel is not None:
             cancel.raise_if_cancelled()
         started = time.perf_counter()
-        with collecting() as phases:
-            results.append(call.fn(**call.kwargs))
+        phases, spans, result = _traced_call(
+            call.fn, call.kwargs, getattr(call, "trace", False), call.family
+        )
+        results.append(result)
         seconds.append(time.perf_counter() - started)
         phase_buckets.append(phases)
+        span_lists.append(spans)
     return ExecutionReport(
         results=results,
         seconds=seconds,
         workers={os.getpid()},
         phases=phase_buckets,
+        spans=span_lists,
+        metrics=[None] * len(results),
     )
 
 
@@ -312,10 +394,18 @@ class ThreadBackend:
             results=[None] * len(calls),
             seconds=[0.0] * len(calls),
             phases=[{} for _ in calls],
+            spans=[[] for _ in calls],
+            metrics=[None] * len(calls),
         )
         with ThreadPoolExecutor(max_workers=min(self.jobs, len(calls))) as pool:
             futures = [
-                pool.submit(_invoke_in_thread, call.fn, dict(call.kwargs))
+                pool.submit(
+                    _invoke_in_thread,
+                    call.fn,
+                    dict(call.kwargs),
+                    getattr(call, "trace", False),
+                    call.family,
+                )
                 for call in calls
             ]
             for index, future in enumerate(futures):
@@ -325,10 +415,12 @@ class ThreadBackend:
                     raise ExecutionCancelled(
                         f"cancelled with {len(calls) - index} call(s) unscheduled"
                     )
-                seconds, ident, phases, result = future.result()
+                seconds, ident, phases, spans, delta, result = future.result()
                 report.seconds[index] = seconds
                 report.results[index] = result
                 report.phases[index] = phases
+                report.spans[index] = spans
+                report.metrics[index] = delta
                 report.workers.add(ident)
         return report
 
@@ -349,22 +441,41 @@ class ProcessBackend:
         if cancel is not None:
             cancel.raise_if_cancelled()  # don't submit an already-dead batch
         if not _fns_picklable(calls):
+            _log.info(
+                "%s: unpicklable task function(s); running %d call(s) in-process",
+                self.name,
+                len(calls),
+            )
             return _run_serial(calls, cancel)
         try:
             pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(calls)))
         except OSError:
+            _log.warning(
+                "%s: process creation refused; running %d call(s) in-process",
+                self.name,
+                len(calls),
+            )
             return _run_serial(calls, cancel)  # process creation refused
         report = ExecutionReport(
             results=[None] * len(calls),
             seconds=[0.0] * len(calls),
             phases=[{} for _ in calls],
+            spans=[[] for _ in calls],
+            metrics=[None] * len(calls),
         )
         broken = False
         completed = 0  # futures [0, completed) are recorded in the report
         try:
             with pool:
                 futures = [
-                    pool.submit(_invoke, call.fn, dict(call.kwargs)) for call in calls
+                    pool.submit(
+                        _invoke,
+                        call.fn,
+                        dict(call.kwargs),
+                        getattr(call, "trace", False),
+                        call.family,
+                    )
+                    for call in calls
                 ]
                 for index, future in enumerate(futures):
                     if cancel is not None and cancel.cancelled:
@@ -374,7 +485,7 @@ class ProcessBackend:
                             f"cancelled with {len(calls) - index} call(s) unscheduled"
                         )
                     try:
-                        seconds, pid, phases, result = future.result()
+                        seconds, pid, phases, spans, delta, result = future.result()
                     except BrokenProcessPool as exc:
                         if _workers_can_start():
                             # The environment can run workers, so the pool
@@ -395,6 +506,8 @@ class ProcessBackend:
                     report.seconds[index] = seconds
                     report.results[index] = result
                     report.phases[index] = phases
+                    report.spans[index] = spans
+                    report.metrics[index] = delta
                     report.workers.add(pid)
                     completed = index + 1
         except BrokenProcessPool:
@@ -405,10 +518,18 @@ class ProcessBackend:
             # keeping the results/seconds already recorded so side effects
             # and per-family durations are never duplicated.  Task
             # exceptions propagate untouched.
+            _log.warning(
+                "%s: worker pool broke before any worker ran; resuming %d "
+                "call(s) in-process",
+                self.name,
+                len(calls) - completed,
+            )
             tail = _run_serial(calls[completed:], cancel)
             report.results[completed:] = tail.results
             report.seconds[completed:] = tail.seconds
             report.phases[completed:] = tail.phases
+            report.spans[completed:] = tail.spans
+            report.metrics[completed:] = tail.metrics
             report.workers |= tail.workers
         return report
 
@@ -551,6 +672,7 @@ class SharedMemoryBackend(ProcessBackend):
                         fn=_invoke_shared,
                         kwargs={"fn": call.fn, "kwargs": kwargs, "refs": refs},
                         family=call.family,
+                        trace=getattr(call, "trace", False),
                     )
                 )
             else:

@@ -30,8 +30,20 @@ from typing import Any, Callable
 import numpy as np
 
 import repro
+from repro.obs.logs import get_logger
+from repro.obs.metrics import REGISTRY
 
 __all__ = ["ResultCache", "stable_token", "code_version_token", "default_cache_dir"]
+
+_log = get_logger("engine.cache")
+
+#: Cache traffic by outcome: ``hit``, ``miss``, or ``poisoned_unlink``
+#: (an entry that existed but could not be unpickled and was deleted).
+_EVENTS = REGISTRY.counter(
+    "repro_result_cache_events_total",
+    "ResultCache lookups by outcome (hit, miss, poisoned_unlink)",
+    labels=("event",),
+)
 
 #: Environment variable overriding the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -132,6 +144,7 @@ class ResultCache:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.unlinked = 0  # poisoned entries deleted by get() (a subset of misses)
         # hits/misses are bare ints incremented from whichever thread runs
         # get(); without the lock concurrent engines (the thread backend,
         # the service's worker pool) lose increments and skew EngineStats.
@@ -144,7 +157,18 @@ class ResultCache:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("unlinked", 0)  # pickles from older versions
         self._stats_lock = threading.Lock()
+
+    def stats(self) -> dict[str, int]:
+        """Lookup counters as a plain dict (for ``--dump-json`` and the
+        service's per-job engine snapshots)."""
+        with self._stats_lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "poisoned_unlinks": self.unlinked,
+            }
 
     # ------------------------------------------------------------------ #
     # Keys
@@ -188,18 +212,38 @@ class ResultCache:
         try:
             with path.open("rb") as handle:
                 value = pickle.load(handle)
-        except Exception:
-            # Any unreadable entry is a miss; unlink it so the next run
-            # recomputes and rewrites the slot (no-op on a plain miss).
+        except FileNotFoundError:
+            with self._stats_lock:
+                self.misses += 1
+            _EVENTS.inc(event="miss")
+            return default
+        except Exception as exc:
+            # The entry exists but cannot be read — unlink it so the next
+            # run recomputes and rewrites the slot instead of re-failing
+            # on the same poisoned bytes forever.
+            poisoned = False
             try:
                 path.unlink(missing_ok=True)
+                poisoned = True
             except OSError:
                 pass
             with self._stats_lock:
                 self.misses += 1
+                if poisoned:
+                    self.unlinked += 1
+            _EVENTS.inc(event="miss")
+            if poisoned:
+                _EVENTS.inc(event="poisoned_unlink")
+                _log.warning(
+                    "unlinked poisoned cache entry %s (%s: %s)",
+                    path.name,
+                    type(exc).__name__,
+                    exc,
+                )
             return default
         with self._stats_lock:
             self.hits += 1
+        _EVENTS.inc(event="hit")
         return value
 
     def put(self, key: str, value: Any) -> None:

@@ -19,8 +19,15 @@ Design constraints, in order:
 2. **Exclusive time.**  Entering an inner phase pauses the outer one
    (``repair`` calls ``mask``; their buckets must not double-count), so
    the buckets sum to at most the task's wall-clock.
-3. **No engine imports.**  Stdlib only, so ``core``/``tuning``/
+3. **No engine imports.**  Stdlib only (plus :mod:`repro.obs.tracing`,
+   itself stdlib-only and dependency-free), so ``core``/``tuning``/
    ``compiler`` modules can mark phases without import cycles.
+
+:func:`phase` doubles as the tracing bridge: when a span collector is
+active on the thread (``--trace`` runs), each phase additionally emits a
+``phase:<name>`` span — inclusive wall-clock, unlike the exclusive
+bucket accounting — so traces show where task time went without any
+extra annotations in the kernels.
 
 Thread safety: state is ``threading.local`` — each worker thread collects
 its own frames, and nested collectors shadow outer ones (a fused
@@ -34,6 +41,8 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
+
+from repro.obs.tracing import end_span, is_tracing, start_span
 
 __all__ = ["phase", "collecting"]
 
@@ -68,9 +77,13 @@ def phase(name: str):
     ``mask`` while inside ``repair`` books to ``mask`` alone.  Without
     an active :func:`collecting` frame on this thread, a no-op.
     """
+    record = start_span("phase:" + name) if is_tracing() else None
     frames = getattr(_STATE, "frames", None)
     if not frames:
-        yield
+        try:
+            yield
+        finally:
+            end_span(record)
         return
     bucket, stack = frames[-1]
     now = time.perf_counter()
@@ -87,3 +100,4 @@ def phase(name: str):
         bucket[entry[0]] = bucket.get(entry[0], 0.0) + (now - entry[1])
         if stack:
             stack[-1][1] = now  # resume the enclosing phase
+        end_span(record)

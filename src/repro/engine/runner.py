@@ -42,8 +42,40 @@ from repro.engine.backends import (
 from repro.engine.cache import ResultCache, code_version_token
 from repro.engine.phases import collecting
 from repro.engine.task import Task, TaskGraph
+from repro.obs import tracing
+from repro.obs.logs import get_logger
+from repro.obs.metrics import REGISTRY
 
 __all__ = ["ExecutionEngine", "EngineStats"]
+
+_log = get_logger("engine.runner")
+
+# Engine activity on the process metrics registry (see repro.obs.metrics).
+# These mirror EngineStats — the registry aggregates across every engine
+# instance in the process (the service runs one per job) and is what the
+# /metrics endpoint renders.
+_MET_TASKS = REGISTRY.counter(
+    "repro_engine_tasks_total",
+    "Tasks submitted to engines by outcome (cached, executed)",
+    labels=("status",),
+)
+_MET_FUSED = REGISTRY.counter(
+    "repro_engine_tasks_fused_total",
+    "Executed tasks that travelled to their worker inside a fused super-task",
+)
+_MET_FUSION_BATCHES = REGISTRY.counter(
+    "repro_engine_fusion_batches_total",
+    "Fused super-tasks submitted to pooled backends",
+)
+_MET_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_engine_batch_seconds",
+    "Wall-clock seconds per engine batch (one run_tasks call)",
+)
+_MET_PHASE_SECONDS = REGISTRY.counter(
+    "repro_engine_phase_seconds_total",
+    "Cumulative exclusive seconds per instrumented pipeline phase",
+    labels=("phase",),
+)
 
 #: Environment variable naming the default backend (the CLI's --backend).
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -205,6 +237,16 @@ class ExecutionEngine:
         ``cache_hits``, ``batch_tasks``, ``batch_executed``,
         ``batch_seconds``, ``wall_seconds``).  Called from whichever
         thread runs the batch; must be cheap and must not raise.
+    tracer:
+        Optional :class:`repro.obs.tracing.Tracer`.  When set (or when a
+        tracer is ambiently active on the calling thread via
+        ``Tracer.activate()``), every batch runs under an
+        ``engine.batch`` span, backends collect spans inside their
+        workers, and the engine adopts the shipped spans — re-parenting
+        each task's ``task:<family>`` root under the batch span — so the
+        assembled trace is one tree regardless of backend.  ``None``
+        (the default) with no ambient tracer keeps tracing off and the
+        hot paths free of overhead.
     """
 
     def __init__(
@@ -216,6 +258,7 @@ class ExecutionEngine:
         fuse: bool = True,
         cancel: CancelToken | None = None,
         progress: Callable[[dict[str, Any]], None] | None = None,
+        tracer: tracing.Tracer | None = None,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = (cache if cache is not None else ResultCache()) if use_cache else None
@@ -226,6 +269,7 @@ class ExecutionEngine:
         self.fuse = fuse
         self.cancel = cancel
         self.progress = progress
+        self.tracer = tracer
         self.stats = EngineStats(jobs=self.jobs, backend=backend)
         self._family_counts: dict[str, int] = defaultdict(int)
 
@@ -255,6 +299,18 @@ class ExecutionEngine:
         the engine's cancel token is set — before the batch starts, or
         from the backend mid-batch.
         """
+        # Tracer resolution: an explicitly configured tracer wins, else
+        # whatever tracer the calling thread has activated (the CLI's
+        # --trace flow).  When the configured tracer is not yet active on
+        # this thread — the service runs jobs on worker threads — the
+        # batch activates it so engine-side spans have a collector.
+        tracer = self.tracer if self.tracer is not None else tracing.active_tracer()
+        if tracer is not None and not tracing.is_tracing():
+            with tracer.activate():
+                return self._run_batch(tasks, tracer)
+        return self._run_batch(tasks, tracer)
+
+    def _run_batch(self, tasks: Sequence[Task], tracer: tracing.Tracer | None) -> list[Any]:
         if self.cancel is not None:
             self.cancel.raise_if_cancelled()
         started = time.perf_counter()
@@ -286,15 +342,29 @@ class ExecutionEngine:
                     continue
             pending.append(index)
 
-        durations = self._execute(tasks, pending, results)
+        with tracing.span("engine.batch", tasks=len(tasks), pending=len(pending)):
+            durations = self._execute(tasks, pending, results, tracer)
         for index in durations:
             if index in keys:
                 self.cache.put(keys[index], results[index])
 
         elapsed = time.perf_counter() - started
+        batch_hits = len(tasks) - len(pending)
         self.stats.tasks_total += len(tasks)
         self.stats.tasks_executed += len(pending)
         self.stats.wall_seconds += elapsed
+        if batch_hits:
+            _MET_TASKS.inc(batch_hits, status="cached")
+        if pending:
+            _MET_TASKS.inc(len(pending), status="executed")
+        _MET_BATCH_SECONDS.observe(elapsed)
+        _log.debug(
+            "batch done: %d task(s), %d executed, %d cached, %.3fs",
+            len(tasks),
+            len(pending),
+            batch_hits,
+            elapsed,
+        )
         for index, seconds in durations.items():
             self.stats.seconds_by_family[tasks[index].name] += seconds
             self._family_counts[tasks[index].name] += 1
@@ -328,7 +398,11 @@ class ExecutionEngine:
         return max(costs) if costs else None
 
     def _execute(
-        self, tasks: Sequence[Task], pending: list[int], results: list[Any]
+        self,
+        tasks: Sequence[Task],
+        pending: list[int],
+        results: list[Any],
+        tracer: tracing.Tracer | None = None,
     ) -> dict[int, float]:
         """Run the cache misses; returns per-task execution seconds by index.
 
@@ -361,16 +435,31 @@ class ExecutionEngine:
             name = "sequential"
 
         backend = get_backend(name, jobs=self.jobs)
-        calls, groups = self._plan_calls(tasks, pending, backend.pooled, cost)
+        trace = tracer is not None
+        calls, groups = self._plan_calls(tasks, pending, backend.pooled, cost, trace)
         if self.cancel is not None and _backend_accepts_cancel(type(backend)):
             report = backend.execute(calls, cancel=self.cancel)
         else:
             report = backend.execute(calls)
         self.stats.workers_used = max(self.stats.workers_used, len(report.workers))
 
-        # Older third-party backends may not populate `phases`; treat a
-        # missing or short list as empty buckets.
+        # Cross-process metric deltas: workers increment their own
+        # process's registry; the shipped deltas fold those increments
+        # into this process.  Same-pid deltas are already booked (thread
+        # workers, the sequential fallback) and must not merge twice.
+        own_pid = os.getpid()
+        for delta in getattr(report, "metrics", None) or []:
+            if delta and delta.get("pid") != own_pid:
+                REGISTRY.merge_delta(delta)
+
+        # The span the workers' task roots re-parent under: the
+        # engine.batch span currently open on this thread.
+        parent_id = tracing.current_span_id() if trace else None
+
+        # Older third-party backends may not populate `phases`/`spans`;
+        # treat a missing or short list as empty.
         report_phases = getattr(report, "phases", None) or []
+        report_spans = getattr(report, "spans", None) or []
         for position, group in enumerate(groups):
             if len(group) == 1:
                 index = group[0]
@@ -378,12 +467,20 @@ class ExecutionEngine:
                 results[index] = report.results[position]
                 if position < len(report_phases):
                     self._merge_phases(report_phases[position])
+                if trace and position < len(report_spans) and report_spans[position]:
+                    tracer.adopt(report_spans[position], parent_id=parent_id)
             else:
                 self.stats.tasks_fused += len(group)
                 self.stats.fusion_batches += 1
-                for (seconds, phases, result), index in zip(
-                    report.results[position], group
-                ):
+                _MET_FUSED.inc(len(group))
+                _MET_FUSION_BATCHES.inc()
+                for item, index in zip(report.results[position], group):
+                    if len(item) == 4:  # traced run_fused ships spans too
+                        seconds, phases, spans, result = item
+                        if trace and spans:
+                            tracer.adopt(spans, parent_id=parent_id)
+                    else:
+                        seconds, phases, result = item
                     durations[index] = seconds
                     results[index] = result
                     self._merge_phases(phases)
@@ -393,6 +490,7 @@ class ExecutionEngine:
         if phases:
             for name, seconds in phases.items():
                 self.stats.seconds_by_phase[name] += seconds
+                _MET_PHASE_SECONDS.inc(seconds, phase=name)
 
     def _auto_select(
         self,
@@ -414,8 +512,12 @@ class ExecutionEngine:
         if cost is None:
             index = pending.pop(0)
             started = time.perf_counter()
-            with collecting() as phases:
-                results[index] = tasks[index].run()
+            # The probe runs on the engine thread, where the tracer's
+            # collector (if any) is already active — the span lands
+            # under engine.batch directly, mirroring an adopted one.
+            with tracing.span("task:" + tasks[index].name, probe=True):
+                with collecting() as phases:
+                    results[index] = tasks[index].run()
             cost = time.perf_counter() - started
             durations[index] = cost
             self._merge_phases(phases)
@@ -432,6 +534,7 @@ class ExecutionEngine:
         pending: list[int],
         pooled: bool,
         cost: float | None,
+        trace: bool = False,
     ) -> tuple[list[Call], list[list[int]]]:
         """Build the backend call list, fusing small tasks for pooled backends.
 
@@ -440,6 +543,12 @@ class ExecutionEngine:
         groups are :func:`run_fused` super-tasks).  Only consecutive
         same-function tasks fuse, and each super-task preserves the
         sequential execution order of its subtasks.
+
+        With ``trace`` set, singleton calls carry ``Call.trace`` and
+        fused super-calls pass ``trace``/``family`` through to
+        :func:`run_fused`, so every subtask collects spans under its own
+        ``task:<family>`` root (the super-call itself adds no span —
+        trees stay identical with fusion on or off).
         """
         fusable = (
             self.fuse
@@ -463,16 +572,25 @@ class ExecutionEngine:
                             fn=tasks[index].fn,
                             kwargs=dict(tasks[index].params),
                             family=tasks[index].name,
+                            trace=trace,
                         )
                     )
                 else:
+                    fused_kwargs: dict[str, Any] = {
+                        "fn": tasks[group[0]].fn,
+                        "kwargs_list": [dict(tasks[i].params) for i in group],
+                    }
+                    if trace:
+                        # run_fused collects per-subtask spans itself, so
+                        # the super-call's own Call.trace stays False (an
+                        # extra wrapper span would make fused and unfused
+                        # trees differ).
+                        fused_kwargs["trace"] = True
+                        fused_kwargs["family"] = tasks[group[0]].name
                     calls.append(
                         Call(
                             fn=run_fused,
-                            kwargs={
-                                "fn": tasks[group[0]].fn,
-                                "kwargs_list": [dict(tasks[i].params) for i in group],
-                            },
+                            kwargs=fused_kwargs,
                             family=tasks[group[0]].name,
                         )
                     )

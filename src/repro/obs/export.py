@@ -1,0 +1,230 @@
+"""Trace exporters and the ``python -m repro trace`` summarizer.
+
+Two on-disk formats, chosen by file extension in the CLI:
+
+``*.jsonl``
+    One span record per line, exactly as collected — the debuggable,
+    ``grep``-able form.
+``*.json`` (anything else)
+    Chrome trace-event JSON (``{"traceEvents": [...]}``), loadable in
+    Perfetto or ``chrome://tracing``.  Spans become complete events
+    (``ph: "X"``) with microsecond timestamps; span ids and parent ids
+    ride in ``args`` so the tree survives the format round trip.
+
+The summarizer (:func:`summarize` / :func:`format_summary`) answers
+"where did this run spend its time" from a flat span list: top spans by
+duration, a per-name rollup (count / total / mean), and the critical
+path — the chain of child spans that dominates the slowest root.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = [
+    "write_jsonl",
+    "write_chrome_trace",
+    "spans_to_chrome_events",
+    "chrome_events_to_spans",
+    "load_trace",
+    "write_trace",
+    "summarize",
+    "format_summary",
+]
+
+
+def write_jsonl(spans: Iterable[dict], path: str) -> None:
+    """One span per line, keys sorted for deterministic diffs."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in spans:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def spans_to_chrome_events(spans: Iterable[dict]) -> list[dict]:
+    """Span records as Chrome trace-event complete events (``ph: "X"``)."""
+    events = []
+    for record in spans:
+        args: dict[str, Any] = {"id": record["id"]}
+        if record.get("parent") is not None:
+            args["parent"] = record["parent"]
+        if record.get("trace_id") is not None:
+            args["trace_id"] = record["trace_id"]
+        args.update(record.get("attrs") or {})
+        events.append(
+            {
+                "name": record["name"],
+                "ph": "X",
+                "ts": record["ts"] * 1e6,  # trace-event timestamps are µs
+                "dur": record.get("dur", 0.0) * 1e6,
+                "pid": record.get("pid", 0),
+                "tid": record.get("tid", 0),
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_events_to_spans(events: Iterable[dict]) -> list[dict]:
+    """Inverse of :func:`spans_to_chrome_events` (for loading/summaries)."""
+    spans = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args") or {})
+        record: dict[str, Any] = {
+            "name": event["name"],
+            "id": args.pop("id", None),
+            "parent": args.pop("parent", None),
+            "trace_id": args.pop("trace_id", None),
+            "ts": event["ts"] / 1e6,
+            "dur": event.get("dur", 0.0) / 1e6,
+            "pid": event.get("pid", 0),
+            "tid": event.get("tid", 0),
+        }
+        if args:
+            record["attrs"] = args
+        spans.append(record)
+    return spans
+
+
+def write_chrome_trace(spans: Iterable[dict], path: str) -> None:
+    """Perfetto/``chrome://tracing``-loadable JSON object format."""
+    payload = {
+        "traceEvents": spans_to_chrome_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+
+
+def write_trace(spans: Iterable[dict], path: str) -> None:
+    """Write ``path``, picking the format from its extension."""
+    if path.endswith(".jsonl"):
+        write_jsonl(spans, path)
+    else:
+        write_chrome_trace(spans, path)
+
+
+def load_trace(path: str) -> list[dict]:
+    """Load span records from either on-disk format."""
+    if path.endswith(".jsonl"):
+        spans = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    spans.append(json.loads(line))
+        return spans
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return chrome_events_to_spans(payload["traceEvents"])
+    raise ValueError(f"{path}: not a Chrome trace-event file (no traceEvents)")
+
+
+def summarize(spans: list[dict], top: int = 10) -> dict[str, Any]:
+    """Aggregate a flat span list into the ``repro trace`` report.
+
+    Returns a JSON-able dict with:
+
+    * ``span_count`` / ``trace_ids`` / ``processes``
+    * ``top_spans`` — the ``top`` longest individual spans
+    * ``by_name`` — per-name rollup sorted by total duration
+    * ``critical_path`` — for the longest root span, the chain formed by
+      repeatedly descending into the longest child
+    """
+    by_id = {record["id"]: record for record in spans if record.get("id")}
+    children: dict[str | None, list[dict]] = {}
+    for record in spans:
+        children.setdefault(record.get("parent"), []).append(record)
+
+    rollup: dict[str, dict[str, float]] = {}
+    for record in spans:
+        entry = rollup.setdefault(
+            record["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        dur = float(record.get("dur", 0.0))
+        entry["count"] += 1
+        entry["total_s"] += dur
+        entry["max_s"] = max(entry["max_s"], dur)
+    by_name = [
+        {
+            "name": name,
+            "count": entry["count"],
+            "total_s": entry["total_s"],
+            "mean_s": entry["total_s"] / entry["count"] if entry["count"] else 0.0,
+            "max_s": entry["max_s"],
+        }
+        for name, entry in rollup.items()
+    ]
+    by_name.sort(key=lambda entry: (-entry["total_s"], entry["name"]))
+
+    ordered = sorted(spans, key=lambda r: -float(r.get("dur", 0.0)))
+    top_spans = [
+        {
+            "name": record["name"],
+            "dur_s": float(record.get("dur", 0.0)),
+            "pid": record.get("pid"),
+            "id": record.get("id"),
+        }
+        for record in ordered[:top]
+    ]
+
+    # Roots: no parent, or a parent that never made it into this trace.
+    roots = [r for r in spans if r.get("parent") not in by_id]
+    critical_path: list[dict[str, Any]] = []
+    if roots:
+        node = max(roots, key=lambda r: float(r.get("dur", 0.0)))
+        while node is not None:
+            critical_path.append(
+                {
+                    "name": node["name"],
+                    "dur_s": float(node.get("dur", 0.0)),
+                    "pid": node.get("pid"),
+                }
+            )
+            kids = children.get(node.get("id"), [])
+            node = max(kids, key=lambda r: float(r.get("dur", 0.0))) if kids else None
+
+    return {
+        "span_count": len(spans),
+        "trace_ids": sorted({r.get("trace_id") for r in spans if r.get("trace_id")}),
+        "processes": sorted({r.get("pid") for r in spans if r.get("pid") is not None}),
+        "top_spans": top_spans,
+        "by_name": by_name,
+        "critical_path": critical_path,
+    }
+
+
+def format_summary(summary: dict[str, Any], top: int = 10) -> str:
+    """Human-readable rendering of :func:`summarize` for the CLI."""
+    lines = [
+        f"spans: {summary['span_count']}"
+        f"  processes: {len(summary['processes'])}"
+        f"  traces: {len(summary['trace_ids'])}",
+        "",
+        "top spans:",
+    ]
+    for entry in summary["top_spans"][:top]:
+        lines.append(
+            f"  {entry['dur_s'] * 1e3:10.3f} ms  {entry['name']}"
+            f"  (pid {entry['pid']})"
+        )
+    lines.append("")
+    lines.append("by name (total / count / mean):")
+    for entry in summary["by_name"][:top]:
+        lines.append(
+            f"  {entry['total_s'] * 1e3:10.3f} ms  {entry['count']:5d}x"
+            f"  {entry['mean_s'] * 1e3:9.3f} ms  {entry['name']}"
+        )
+    if summary["critical_path"]:
+        lines.append("")
+        lines.append("critical path:")
+        for depth, entry in enumerate(summary["critical_path"]):
+            lines.append(
+                f"  {'  ' * depth}{entry['name']}"
+                f"  {entry['dur_s'] * 1e3:.3f} ms (pid {entry['pid']})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""The structured logging spine for ``repro.*`` loggers.
+
+Every module logs through ``get_logger(__name__)`` — a stdlib logger
+namespaced under ``repro`` — and stays silent by default (WARNING to
+stderr, no handler surprises for library users).  ``configure_logging``
+is the single switch the CLI flags (``--log-level`` / ``--log-json``)
+and the ``REPRO_LOG_LEVEL`` environment variable flip; it installs one
+stream handler on the ``repro`` root logger with either a concise
+human-readable line format or a JSON-per-line formatter for log
+shippers.
+
+Idempotent: repeated calls reconfigure the same handler instead of
+stacking duplicates, so tests and the service can call it freely.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+
+__all__ = ["configure_logging", "get_logger", "JsonFormatter"]
+
+_ROOT_NAME = "repro"
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "pid": record.process,
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class _LineFormatter(logging.Formatter):
+    """``HH:MM:SS.mmm LEVEL logger: message`` with local wall-clock."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        millis = int((record.created % 1.0) * 1000)
+        base = (
+            f"{stamp}.{millis:03d} {record.levelname:7s} "
+            f"{record.name}: {record.getMessage()}"
+        )
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (accepts any module name)."""
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(
+    level: str | int | None = None,
+    json_format: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger and return it.
+
+    ``level`` defaults to the ``REPRO_LOG_LEVEL`` environment variable,
+    falling back to WARNING.  Invalid level names raise ``ValueError``
+    (with the valid names listed) rather than silently logging nothing.
+    """
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL") or "WARNING"
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.strip().upper())
+        if not isinstance(resolved, int):
+            valid = "DEBUG, INFO, WARNING, ERROR, CRITICAL"
+            raise ValueError(f"unknown log level {level!r} (expected one of {valid})")
+        level = resolved
+
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    root.propagate = False
+
+    handler = None
+    for existing in root.handlers:
+        if getattr(existing, _HANDLER_FLAG, False):
+            handler = existing
+            break
+    target = stream if stream is not None else sys.stderr
+    if handler is None:
+        handler = logging.StreamHandler(target)
+        setattr(handler, _HANDLER_FLAG, True)
+        root.addHandler(handler)
+    elif handler.stream is not target:
+        # Rebind to the *current* stderr (or the explicit stream): the
+        # previously bound stream may be gone — e.g. a test harness's
+        # captured stderr, closed when its test ended — and setStream's
+        # flush of it would raise.
+        try:
+            handler.setStream(target)
+        except ValueError:
+            handler.stream = target
+    handler.setLevel(level)
+    handler.setFormatter(JsonFormatter() if json_format else _LineFormatter())
+    return root

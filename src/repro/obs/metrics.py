@@ -1,0 +1,514 @@
+"""Process-wide metrics registry with mergeable cross-process snapshots.
+
+Three primitive kinds, mirroring the Prometheus data model:
+
+``Counter``
+    Monotonically increasing float (task counts, cache hits, seconds).
+``Gauge``
+    A value that goes both ways (queue depth, live jobs).
+``Histogram``
+    Cumulative-bucket observation distribution (batch/job latencies).
+
+Metrics are registered by name on a :class:`MetricsRegistry` and may
+carry *labels*: ``counter.inc(phase="mask")`` books one series per label
+combination.  The module-level :data:`REGISTRY` is the default sink the
+engine, caches and service all write to.
+
+Two snapshot flavours:
+
+* :meth:`MetricsRegistry.snapshot` — a sorted, JSON-able nested dict for
+  ``--dump-json`` and the service ``/stats`` endpoint (deterministic and
+  diffable, see ``reporting.jsonable``);
+* :meth:`MetricsRegistry.checkpoint` + :meth:`MetricsRegistry.delta_since`
+  + :meth:`MetricsRegistry.merge_delta` — the cross-process channel.  A
+  worker-process trampoline checkpoints before a task, computes the
+  delta after, and ships it home with the result; the engine merges
+  deltas whose pid differs from its own (same-process deltas are already
+  in the registry — merging them would double count).  Only counters and
+  histograms travel: they are additive; gauges are process-local state.
+
+Rendering: :meth:`MetricsRegistry.render_prometheus` emits the
+Prometheus text exposition format (``# HELP``/``# TYPE`` plus one line
+per series) consumed by the service's ``GET /metrics``; the companion
+:func:`parse_prometheus` is a minimal reader for tests and smoke checks.
+
+Thread safety: one registry lock guards every mutation; increments from
+engine threads, service workers and scrape handlers interleave safely.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "parse_prometheus",
+]
+
+#: Default histogram buckets (seconds): spans engine batches (ms) to
+#: service jobs (minutes).
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class _HistogramState:
+    """Cumulative-bucket state of one histogram series."""
+
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, num_buckets: int):
+        self.bucket_counts = [0] * num_buckets  # per-bucket (non-cumulative)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float, buckets: tuple[float, ...]) -> None:
+        for index, bound in enumerate(buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                break
+        self.sum += value
+        self.count += 1
+
+    def copy(self) -> "_HistogramState":
+        clone = _HistogramState(len(self.bucket_counts))
+        clone.bucket_counts = list(self.bucket_counts)
+        clone.sum = self.sum
+        clone.count = self.count
+        return clone
+
+
+class _Metric:
+    """Internal storage for one named metric and all its label series."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets", "series")
+
+    def __init__(self, name, kind, help_text, label_names, buckets=None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        # label-values tuple -> float (counter/gauge) or _HistogramState
+        self.series: dict[tuple[str, ...], Any] = {}
+
+
+def _label_values(metric: _Metric, labels: Mapping[str, Any]) -> tuple[str, ...]:
+    if set(labels) != set(metric.label_names):
+        raise ValueError(
+            f"metric {metric.name!r} takes labels {metric.label_names}, "
+            f"got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in metric.label_names)
+
+
+class _Bound:
+    """A metric handle bound to one registry (the public API surface)."""
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self.name = name
+
+
+class Counter(_Bound):
+    """Monotonically increasing metric (``inc`` only)."""
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self._registry._add(self.name, "counter", amount, labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._registry._value(self.name, labels)
+
+
+class Gauge(_Bound):
+    """Set-to-current-value metric (``set``/``inc``/``dec``)."""
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._registry._set(self.name, float(value), labels)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        self._registry._add(self.name, "gauge", amount, labels)
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self._registry._add(self.name, "gauge", -amount, labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._registry._value(self.name, labels)
+
+
+class Histogram(_Bound):
+    """Bucketed observation distribution (``observe``)."""
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self._registry._observe(self.name, float(value), labels)
+
+    def state(self, **labels: Any) -> dict[str, Any]:
+        return self._registry._hist_state(self.name, labels)
+
+
+class MetricsRegistry:
+    """Name-keyed store of labelled metric series (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration (get-or-create, idempotent)
+    # ------------------------------------------------------------------ #
+    def _register(self, name, kind, help_text, label_names, buckets=None) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if metric.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} is a {metric.kind}, not a {kind}"
+                    )
+                return metric
+            metric = _Metric(name, kind, help_text, label_names, buckets)
+            self._metrics[name] = metric
+            if not metric.label_names and kind in ("counter", "gauge"):
+                metric.series[()] = 0.0  # unlabelled series expose 0 at once
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Counter:
+        self._register(name, "counter", help, labels)
+        return Counter(self, name)
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Gauge:
+        self._register(name, "gauge", help, labels)
+        return Gauge(self, name)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        self._register(name, "histogram", help, labels, tuple(buckets))
+        return Histogram(self, name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # ------------------------------------------------------------------ #
+    # Mutation (wrapper-facing, all under the lock)
+    # ------------------------------------------------------------------ #
+    def _metric(self, name: str) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            raise KeyError(f"metric {name!r} is not registered")
+        return metric
+
+    def _add(self, name, kind, amount, labels) -> None:
+        with self._lock:
+            metric = self._metric(name)
+            key = _label_values(metric, labels)
+            metric.series[key] = metric.series.get(key, 0.0) + amount
+
+    def _set(self, name, value, labels) -> None:
+        with self._lock:
+            metric = self._metric(name)
+            metric.series[_label_values(metric, labels)] = value
+
+    def _observe(self, name, value, labels) -> None:
+        with self._lock:
+            metric = self._metric(name)
+            key = _label_values(metric, labels)
+            state = metric.series.get(key)
+            if state is None:
+                state = metric.series[key] = _HistogramState(len(metric.buckets))
+            state.observe(value, metric.buckets)
+
+    def _value(self, name, labels) -> float:
+        with self._lock:
+            metric = self._metric(name)
+            return float(metric.series.get(_label_values(metric, labels), 0.0))
+
+    def _hist_state(self, name, labels) -> dict[str, Any]:
+        with self._lock:
+            metric = self._metric(name)
+            state = metric.series.get(_label_values(metric, labels))
+            if state is None:
+                return {"count": 0, "sum": 0.0, "bucket_counts": [0] * len(metric.buckets)}
+            return {
+                "count": state.count,
+                "sum": state.sum,
+                "bucket_counts": list(state.bucket_counts),
+            }
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, Any]:
+        """Sorted, JSON-able view of every series (deterministic output)."""
+        out: dict[str, Any] = {}
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                series = []
+                for key in sorted(metric.series):
+                    value = metric.series[key]
+                    entry: dict[str, Any] = {
+                        "labels": dict(zip(metric.label_names, key)),
+                    }
+                    if isinstance(value, _HistogramState):
+                        entry["count"] = value.count
+                        entry["sum"] = value.sum
+                        entry["bucket_counts"] = list(value.bucket_counts)
+                    else:
+                        entry["value"] = value
+                    series.append(entry)
+                out[name] = {
+                    "type": metric.kind,
+                    "help": metric.help,
+                    "series": series,
+                }
+        return out
+
+    def checkpoint(self) -> dict[tuple, Any]:
+        """A cheap copy of current counter/histogram values, for deltas."""
+        marks: dict[tuple, Any] = {}
+        with self._lock:
+            for name, metric in self._metrics.items():
+                if metric.kind == "gauge":
+                    continue
+                for key, value in metric.series.items():
+                    marks[(name, key)] = (
+                        value.copy() if isinstance(value, _HistogramState) else value
+                    )
+        return marks
+
+    def delta_since(self, marks: dict[tuple, Any]) -> dict[str, Any] | None:
+        """Additive change since :meth:`checkpoint`, or ``None`` if nothing
+        moved.  The delta is picklable and self-describing (it carries
+        each metric's kind/help/labels/buckets) so the receiving registry
+        can create missing metrics on merge."""
+        entries: list[dict[str, Any]] = []
+        with self._lock:
+            for name, metric in self._metrics.items():
+                if metric.kind == "gauge":
+                    continue
+                for key, value in metric.series.items():
+                    base = marks.get((name, key))
+                    if isinstance(value, _HistogramState):
+                        if base is None:
+                            base = _HistogramState(len(value.bucket_counts))
+                        if value.count == base.count:
+                            continue
+                        payload: Any = {
+                            "count": value.count - base.count,
+                            "sum": value.sum - base.sum,
+                            "bucket_counts": [
+                                now - before
+                                for now, before in zip(
+                                    value.bucket_counts, base.bucket_counts
+                                )
+                            ],
+                        }
+                    else:
+                        change = value - (base or 0.0)
+                        if change == 0.0:
+                            continue
+                        payload = change
+                    entries.append(
+                        {
+                            "name": name,
+                            "kind": metric.kind,
+                            "help": metric.help,
+                            "label_names": metric.label_names,
+                            "labels": key,
+                            "buckets": metric.buckets,
+                            "payload": payload,
+                        }
+                    )
+        if not entries:
+            return None
+        return {"pid": os.getpid(), "entries": entries}
+
+
+    def merge_delta(self, delta: dict[str, Any] | None) -> None:
+        """Fold a :meth:`delta_since` dict from another process in."""
+        if not delta:
+            return
+        for entry in delta["entries"]:
+            self._register(
+                entry["name"],
+                entry["kind"],
+                entry["help"],
+                entry["label_names"],
+                entry["buckets"],
+            )
+            with self._lock:
+                metric = self._metric(entry["name"])
+                key = tuple(entry["labels"])
+                payload = entry["payload"]
+                if entry["kind"] == "histogram":
+                    state = metric.series.get(key)
+                    if state is None:
+                        state = metric.series[key] = _HistogramState(
+                            len(metric.buckets)
+                        )
+                    state.count += payload["count"]
+                    state.sum += payload["sum"]
+                    for index, change in enumerate(payload["bucket_counts"]):
+                        state.bucket_counts[index] += change
+                else:
+                    metric.series[key] = metric.series.get(key, 0.0) + payload
+
+    # ------------------------------------------------------------------ #
+    # Prometheus exposition
+    # ------------------------------------------------------------------ #
+    def render_prometheus(self) -> str:
+        """The text exposition format (version 0.0.4) of every series."""
+        lines: list[str] = []
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if metric.help:
+                    lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+                lines.append(f"# TYPE {name} {metric.kind}")
+                for key in sorted(metric.series):
+                    value = metric.series[key]
+                    labels = dict(zip(metric.label_names, key))
+                    if isinstance(value, _HistogramState):
+                        cumulative = 0
+                        for bound, count in zip(metric.buckets, value.bucket_counts):
+                            cumulative += count
+                            lines.append(
+                                f"{name}_bucket"
+                                f"{_render_labels({**labels, 'le': _format(bound)})}"
+                                f" {cumulative}"
+                            )
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_render_labels({**labels, 'le': '+Inf'})}"
+                            f" {value.count}"
+                        )
+                        lines.append(
+                            f"{name}_sum{_render_labels(labels)} {_format(value.sum)}"
+                        )
+                        lines.append(
+                            f"{name}_count{_render_labels(labels)} {value.count}"
+                        )
+                    else:
+                        lines.append(
+                            f"{name}{_render_labels(labels)} {_format(value)}"
+                        )
+        return "\n".join(lines) + "\n"
+
+
+def _format(value: float) -> str:
+    value = float(value)
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def parse_prometheus(text: str) -> dict[str, dict[tuple, float]]:
+    """Minimal exposition-format reader for tests and smoke checks.
+
+    Returns ``{series_name: {labels_items_tuple: value}}`` where
+    ``labels_items_tuple`` is a sorted tuple of ``(label, value)`` pairs
+    (empty for unlabelled series).  Raises ``ValueError`` on any line
+    that is neither a comment nor a well-formed sample — which is the
+    parseability assertion CI's smoke scrape relies on.
+    """
+    series: dict[str, dict[tuple, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_part, _, value_part = rest.rpartition("}")
+            labels = []
+            for chunk in _split_labels(label_part):
+                key, _, raw = chunk.partition("=")
+                if not raw.startswith('"') or not raw.endswith('"'):
+                    raise ValueError(f"malformed label in line {line!r}")
+                labels.append((key.strip(), raw[1:-1]))
+            key = tuple(sorted(labels))
+            value_text = value_part.strip()
+        else:
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed sample line {line!r}")
+            name, value_text = parts[0], parts[1]
+            key = ()
+        name = name.strip()
+        if not name:
+            raise ValueError(f"malformed sample line {line!r}")
+        value_text = value_text.split()[0]
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)  # ValueError propagates: unparseable
+        series.setdefault(name, {})[key] = value
+    return series
+
+
+def _split_labels(label_part: str) -> list[str]:
+    """Split ``a="x",b="y,z"`` on commas outside quotes."""
+    chunks: list[str] = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in label_part:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == "," and not in_quotes:
+            chunks.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        chunks.append("".join(current))
+    return [chunk for chunk in (c.strip() for c in chunks) if chunk]
+
+
+#: The process-wide default registry the engine, caches and service use.
+REGISTRY = MetricsRegistry()

@@ -9,6 +9,9 @@ Endpoints
 ---------
 ``GET  /healthz``              liveness + queue occupancy
 ``GET  /stats``                manager counters
+``GET  /metrics``              Prometheus text exposition of the process
+                               metrics registry (engine, cache, routing
+                               and service series — see ``repro.obs``)
 ``GET  /experiments``          registered experiments (name, description)
 ``POST /jobs``                 submit ``{"experiment": .., "params": {..},
                                "client": ..}`` -> 202 job snapshot with
@@ -32,11 +35,15 @@ import json
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.logs import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.service.jobs import JobEvent
 from repro.service.manager import JobManager, QueueFull, UnknownJob
 from repro.service.ratelimit import RateLimited
 
 __all__ = ["ServiceServer", "request"]
+
+_log = get_logger("service.http")
 
 #: Request-line + headers size guard (a service, not a general proxy).
 _MAX_HEADER_BYTES = 32 * 1024
@@ -116,11 +123,20 @@ class ServiceServer:
                 if path.startswith("/jobs/") and path.endswith("/events"):
                     await self._stream_events(writer, path.split("/")[2])
                     return
+                if path == "/metrics" and method == "GET":
+                    await self._respond_text(
+                        writer,
+                        200,
+                        REGISTRY.render_prometheus(),
+                        content_type="text/plain; version=0.0.4; charset=utf-8",
+                    )
+                    return
                 status, payload, headers = await self._route(method, path, query, body)
             except _HttpError as exc:
                 await self._respond_error(writer, exc)
                 return
             except Exception as exc:  # noqa: BLE001 - last-resort 500
+                _log.warning("%s %s -> 500 (%s: %s)", method, path, type(exc).__name__, exc)
                 await self._respond_error(
                     writer, _HttpError(500, f"{type(exc).__name__}: {exc}")
                 )
@@ -286,6 +302,23 @@ class ServiceServer:
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + data)
         await writer.drain()
 
+    async def _respond_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        data = text.encode()
+        head = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(data)}",
+            "Connection: close",
+        ]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + data)
+        await writer.drain()
+
     async def _respond_error(self, writer: asyncio.StreamWriter, exc: _HttpError) -> None:
         await self._respond_json(
             writer, exc.status, {"error": exc.message}, exc.headers
@@ -323,8 +356,10 @@ async def request(
 ) -> tuple[int, dict[str, str], Any]:
     """Minimal asyncio HTTP client for tests and the smoke script.
 
-    Returns ``(status, headers, parsed-JSON body)``; streams are not
-    supported (read the socket directly for ``/events``).
+    Returns ``(status, headers, body)`` — the body parsed as JSON for
+    ``application/json`` responses and returned as text for everything
+    else (``/metrics`` speaks the Prometheus exposition format).
+    Streams are not supported (read the socket directly for ``/events``).
     """
     reader, writer = await asyncio.open_connection(host, port)
     try:
@@ -353,5 +388,10 @@ async def request(
     for line in lines[1:]:
         name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
-    parsed = json.loads(body_bytes) if body_bytes else None
+    parsed: Any = None
+    if body_bytes:
+        if "application/json" in headers.get("content-type", ""):
+            parsed = json.loads(body_bytes)
+        else:
+            parsed = body_bytes.decode("utf-8", errors="replace")
     return status, headers, parsed

@@ -22,6 +22,7 @@ from enum import Enum
 from typing import TYPE_CHECKING, Any
 
 from repro.engine.backends import CancelToken
+from repro.obs.tracing import new_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     import asyncio
@@ -71,6 +72,10 @@ class Job:
     experiment: str
     params: dict[str, Any]
     key: str  # coalescing key (content-addressed, see JobManager)
+    #: Correlation id for this job's computation: surfaced in status
+    #: snapshots, SSE progress events and log lines, so one job's
+    #: activity can be stitched together across endpoints and processes.
+    trace_id: str = field(default_factory=lambda: new_id(16))
     client: str | None = None
     state: JobState = JobState.QUEUED
     submissions: int = 1  # submitters sharing this computation

@@ -38,8 +38,11 @@ from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import Any, AsyncIterator, Callable
 
+from repro.compiler.routing import routing_cache_stats
 from repro.engine.cache import ResultCache, code_version_token
 from repro.engine.runner import ExecutionEngine
+from repro.obs.logs import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.service.failures import FailureClass, FailureClassifier, RetryPolicy
 from repro.service.jobs import TERMINAL_STATES, Job, JobEvent, JobHandle, JobState
 from repro.service.ratelimit import RateLimiter
@@ -51,6 +54,43 @@ __all__ = [
     "JobCancelled",
     "UnknownJob",
 ]
+
+_log = get_logger("service.manager")
+
+# Service activity on the process metrics registry.  Every label series
+# /metrics should always expose is pre-registered at zero below — a
+# scrape right after startup sees the full catalogue, not just the
+# series that happened to fire already.
+_MET_SUBMISSIONS = REGISTRY.counter(
+    "repro_service_submissions_total",
+    "Job submissions by outcome (accepted, coalesced, rejected_queue_full, "
+    "rejected_rate_limited)",
+    labels=("outcome",),
+)
+_MET_JOBS = REGISTRY.counter(
+    "repro_service_jobs_total",
+    "Finished jobs by terminal state",
+    labels=("state",),
+)
+_MET_RETRIES = REGISTRY.counter(
+    "repro_service_retries_total",
+    "Retry attempts by failure classification",
+    labels=("classification",),
+)
+_MET_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_service_queue_depth",
+    "Jobs currently waiting in the bounded queue",
+)
+_MET_JOB_SECONDS = REGISTRY.histogram(
+    "repro_service_job_seconds",
+    "Wall-clock seconds from job start to terminal state",
+)
+for _outcome in ("accepted", "coalesced", "rejected_queue_full", "rejected_rate_limited"):
+    _MET_SUBMISSIONS.inc(0, outcome=_outcome)
+for _state in ("succeeded", "failed", "cancelled"):
+    _MET_JOBS.inc(0, state=_state)
+for _class in FailureClass:
+    _MET_RETRIES.inc(0, classification=_class.value)
 
 
 class QueueFull(RuntimeError):
@@ -262,6 +302,12 @@ class JobManager:
                 self.limiter.acquire(client or "anonymous")
             except Exception:
                 self.metrics["rejected_rate_limited"] += 1
+                _MET_SUBMISSIONS.inc(outcome="rejected_rate_limited")
+                _log.warning(
+                    "submission rejected (rate limited): %s client=%s",
+                    spec.name,
+                    client or "anonymous",
+                )
                 raise
         key = self._keyer.key_for(
             f"service.{spec.name}", normalized, code_version_token()
@@ -272,6 +318,7 @@ class JobManager:
         if existing is not None:
             existing.submissions += 1
             self.metrics["coalesced"] += 1
+            _MET_SUBMISSIONS.inc(outcome="coalesced")
             self._emit(existing, "coalesced", {"submissions": existing.submissions})
             return JobHandle(self, existing, coalesced=True)
 
@@ -288,11 +335,22 @@ class JobManager:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
             self.metrics["rejected_queue_full"] += 1
+            _MET_SUBMISSIONS.inc(outcome="rejected_queue_full")
+            _log.warning(
+                "submission rejected (queue full, %d waiting): %s",
+                self.queue_size,
+                spec.name,
+            )
             raise QueueFull(
                 f"job queue is full ({self.queue_size} waiting); retry later"
             ) from None
         self._jobs[job.id] = job
         self._active[key] = job
+        _MET_SUBMISSIONS.inc(outcome="accepted")
+        _MET_QUEUE_DEPTH.set(self._queue.qsize())
+        _log.info(
+            "job %s accepted: %s trace_id=%s", job.id, spec.name, job.trace_id
+        )
         self._set_state(job, JobState.QUEUED)
         return JobHandle(self, job, coalesced=False)
 
@@ -302,6 +360,7 @@ class JobManager:
     async def _worker(self) -> None:
         while True:
             job = await self._queue.get()
+            _MET_QUEUE_DEPTH.set(self._queue.qsize())
             try:
                 if job.state is not JobState.CANCELLED:  # cancelled while queued
                     await self._run_job(job)
@@ -318,7 +377,12 @@ class JobManager:
             # Runs on the worker thread; hop to the loop.  The loop can
             # be gone during shutdown — drop the event, not the thread.
             try:
-                self._loop.call_soon_threadsafe(self._emit, _job, "progress", snapshot)
+                self._loop.call_soon_threadsafe(
+                    self._emit,
+                    _job,
+                    "progress",
+                    {**snapshot, "trace_id": _job.trace_id},
+                )
             except RuntimeError:
                 pass
 
@@ -334,10 +398,25 @@ class JobManager:
     def _invoke_runner(spec, engine: ExecutionEngine, params: dict) -> tuple[Any, str]:
         return spec.runner(engine, **params)
 
-    @staticmethod
-    def _engine_snapshot(engine: ExecutionEngine) -> dict[str, Any]:
+    def _engine_snapshot(
+        self,
+        engine: ExecutionEngine,
+        routing_base: dict[str, Any] | None = None,
+        cache_base: dict[str, int] | None = None,
+        trace_id: str | None = None,
+    ) -> dict[str, Any]:
+        """Per-job engine stats plus the cache traffic the job caused.
+
+        The routing cache and the result cache are shared process-wide
+        (that sharing is the point), so their counters are cumulative;
+        the baselines captured at job start turn them into per-job
+        deltas.  Concurrent jobs overlap in those deltas — they measure
+        what happened *during* the job, which for capacity questions is
+        the honest number.  Occupancy fields (``entries``,
+        ``sources_computed``) stay absolute.
+        """
         stats = engine.stats
-        return {
+        snapshot = {
             "jobs": stats.jobs,
             "backend": stats.backend,
             "workers_used": stats.workers_used,
@@ -348,10 +427,35 @@ class JobManager:
             "wall_seconds": stats.wall_seconds,
             "seconds_by_phase": dict(stats.seconds_by_phase),
         }
+        routing_now = routing_cache_stats()
+        snapshot["routing_cache"] = {
+            key: (
+                value - routing_base.get(key, 0)
+                if routing_base is not None and key in ("hits", "misses", "evictions")
+                else value
+            )
+            for key, value in routing_now.items()
+        }
+        if self._cache is not None:
+            cache_now = self._cache.stats()
+            snapshot["result_cache"] = {
+                key: value - (cache_base or {}).get(key, 0)
+                for key, value in cache_now.items()
+            }
+        else:
+            snapshot["result_cache"] = None
+        if trace_id is not None:
+            snapshot["trace_id"] = trace_id
+        return snapshot
 
     async def _run_job(self, job: Job) -> None:
         spec = self.registry.get(job.experiment)
         job.started = time.time()
+        # Shared-cache counters are cumulative across jobs; capture them
+        # now so the job's snapshot reports its own delta (satellite of
+        # the unified observability work — see _engine_snapshot).
+        routing_base = routing_cache_stats()
+        cache_base = self._cache.stats() if self._cache is not None else None
         attempt = 0
         while True:
             attempt += 1
@@ -367,12 +471,16 @@ class JobManager:
                 # The worker task itself was cancelled (manager.stop());
                 # mark the job and let the cancellation propagate.
                 job.cancel.cancel()
-                job.engine_stats = self._engine_snapshot(engine)
+                job.engine_stats = self._engine_snapshot(
+                    engine, routing_base, cache_base, trace_id=job.trace_id
+                )
                 self._finish(job, JobState.CANCELLED)
                 raise
             except BaseException as exc:  # noqa: BLE001 - classified below
                 rule = self.classifier.classify(exc)
-                job.engine_stats = self._engine_snapshot(engine)
+                job.engine_stats = self._engine_snapshot(
+                    engine, routing_base, cache_base, trace_id=job.trace_id
+                )
                 error = _error_record(exc, rule.name, rule.classification.value, attempt)
                 if (
                     rule.classification is FailureClass.CANCELLED
@@ -386,6 +494,15 @@ class JobManager:
                 ):
                     delay = self.retry.delay(attempt, self._retry_rng)
                     self.metrics["retries"] += 1
+                    _MET_RETRIES.inc(classification=rule.classification.value)
+                    _log.warning(
+                        "job %s attempt %d failed (%s), retrying in %.2fs: %s",
+                        job.id,
+                        attempt,
+                        rule.name,
+                        delay,
+                        exc,
+                    )
                     self._set_state(
                         job,
                         JobState.RETRYING,
@@ -404,7 +521,9 @@ class JobManager:
             else:
                 job.result = result
                 job.text = text
-                job.engine_stats = self._engine_snapshot(engine)
+                job.engine_stats = self._engine_snapshot(
+                    engine, routing_base, cache_base, trace_id=job.trace_id
+                )
                 self._finish(job, JobState.SUCCEEDED)
                 return
 
@@ -440,6 +559,18 @@ class JobManager:
             JobState.CANCELLED: "cancelled",
         }[state]
         self.metrics[counter] += 1
+        _MET_JOBS.inc(state=counter)
+        if job.started is not None:
+            _MET_JOB_SECONDS.observe(job.finished - job.started)
+        log = _log.info if state is JobState.SUCCEEDED else _log.warning
+        log(
+            "job %s %s after %d attempt(s) trace_id=%s%s",
+            job.id,
+            counter,
+            job.attempts,
+            job.trace_id,
+            f" ({(error or {}).get('message')})" if error else "",
+        )
         self._active.pop(job.key, None)
         self._set_state(job, state, **({"error": error} if error else {}))
         if job.done is not None:
@@ -467,6 +598,7 @@ class JobManager:
             "id": job.id,
             "experiment": job.experiment,
             "params": jsonable(job.params),
+            "trace_id": job.trace_id,
             "state": job.state.value,
             "submissions": job.submissions,
             "attempts": job.attempts,

@@ -321,3 +321,115 @@ class TestCLIBackends:
         assert {"tasks_fused", "fusion_batches", "cache_hits", "wall_seconds"} <= set(
             engine
         )
+
+
+class TestObservabilityCLI:
+    """``run --trace``, the ``trace`` summarizer and the logging flags."""
+
+    def test_run_trace_writes_chrome_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fig4.trace.json"
+        args = [
+            "run", "fig4", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--no-cache", "--quiet", "--trace", str(path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "span(s) written to" in out
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert "run:fig4" in names and "engine.batch" in names
+        assert any(name.startswith("task:") for name in names)
+        assert any(name.startswith("phase:") for name in names)
+        # Exactly one root: the run span; everything else hangs off it.
+        roots = [e for e in events if e["args"].get("parent") is None]
+        assert [e["name"] for e in roots] == ["run:fig4"]
+
+    def test_run_trace_jsonl_format(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fig4.trace.jsonl"
+        args = [
+            "run", "fig4", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--no-cache", "--quiet", "--trace", str(path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        assert lines
+        span = json.loads(lines[0])
+        assert {"name", "id", "parent", "ts", "dur", "pid", "tid"} <= set(span)
+
+    def test_trace_summarizer_roundtrip(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.trace.json"
+        args = [
+            "run", "fig4", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--no-cache", "--quiet", "--trace", str(path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top spans:" in out and "critical path:" in out
+        assert main(["trace", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["span_count"] > 0
+        assert summary["top_spans"][0]["name"] == "run:fig4"
+
+    def test_trace_summarizer_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_traced_and_untraced_runs_agree(self, tmp_path, capsys):
+        base = [
+            "run", "fig4", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--no-cache",
+        ]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main([*base, "--trace", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines()
+            if not line.startswith(("[engine]", "[trace]"))
+        ]
+        assert strip(plain) == strip(traced)
+
+    def test_dump_json_reports_cache_counters(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fig4.json"
+        args = [
+            "run", "fig4", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--quiet", "--dump-json", str(path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        engine = json.loads(path.read_text())["engine"]
+        assert {"hits", "misses", "evictions", "entries", "sources_computed"} <= set(
+            engine["routing_cache"]
+        )
+        assert {"hits", "misses", "poisoned_unlinks"} <= set(engine["result_cache"])
+        assert engine["result_cache"]["misses"] > 0  # cold cache: all misses
+        assert list(engine["seconds_by_phase"]) == sorted(engine["seconds_by_phase"])
+
+    def test_dump_json_without_cache_reports_null(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fig4.json"
+        args = [
+            "run", "fig4", "--batch", "60", "--jobs", "1", "--seed", "7",
+            "--no-cache", "--quiet", "--dump-json", str(path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert json.loads(path.read_text())["engine"]["result_cache"] is None
+
+    def test_bad_log_level_exits_two(self, capsys):
+        assert main(["run", "fig4", "--log-level", "loud"]) == 2
+        assert "invalid logging options" in capsys.readouterr().err

@@ -651,3 +651,97 @@ class TestHttpEndpoints:
         ]
         assert len(frames) >= 3  # queued, running, ..., succeeded
         assert b'"succeeded"' in frames[-1]
+
+
+class TestMetricsEndpoint:
+    """``GET /metrics``: Prometheus text covering the service series."""
+
+    def test_metrics_scrape_parses_and_counts_jobs(self):
+        from repro.obs.metrics import parse_prometheus
+
+        registry = make_registry(("toy", make_counting_runner({"runs": 0})))
+
+        async def scenario():
+            async with JobManager(
+                registry, workers=1, engine_options=FAST_ENGINE
+            ) as manager:
+                server = ServiceServer(manager, port=0)
+                await server.start()
+                try:
+                    host, port = server.host, server.port
+                    status, headers, body = await request(
+                        host, port, "GET", "/metrics"
+                    )
+                    assert status == 200
+                    assert "text/plain" in headers.get("content-type", "")
+                    before = parse_prometheus(body)
+
+                    _, _, submitted = await request(
+                        host, port, "POST", "/jobs", {"experiment": "toy"}
+                    )
+                    _, _, result = await request(
+                        host, port, "GET",
+                        f"/jobs/{submitted['id']}/result?wait=30",
+                    )
+                    _, _, job_status = await request(
+                        host, port, "GET", f"/jobs/{submitted['id']}"
+                    )
+                    _, _, after_text = await request(
+                        host, port, "GET", "/metrics"
+                    )
+                    return before, parse_prometheus(after_text), result, job_status
+
+                finally:
+                    await server.stop()
+
+        before, after, result, job_status = asyncio.run(scenario())
+
+        accepted = (("outcome", "accepted"),)
+        succeeded = (("state", "succeeded"),)
+        # The full catalogue is pre-registered: every outcome/state shows
+        # up in a scrape even before anything happens.
+        submission_outcomes = {
+            dict(key)["outcome"]
+            for key in before["repro_service_submissions_total"]
+        }
+        assert submission_outcomes >= {
+            "accepted", "coalesced", "rejected_queue_full", "rejected_rate_limited",
+        }
+        job_states = {
+            dict(key)["state"] for key in before["repro_service_jobs_total"]
+        }
+        assert job_states >= {"succeeded", "failed", "cancelled"}
+        assert any(
+            name == "repro_service_retries_total" for name in before
+        )
+        assert () in before["repro_service_queue_depth"]
+
+        # The registry is process-global, so compare scrapes as deltas.
+        delta_accepted = (
+            after["repro_service_submissions_total"][accepted]
+            - before["repro_service_submissions_total"][accepted]
+        )
+        delta_succeeded = (
+            after["repro_service_jobs_total"][succeeded]
+            - before["repro_service_jobs_total"][succeeded]
+        )
+        assert delta_accepted == 1.0
+        assert delta_succeeded == 1.0
+        # Histograms materialise on first observation, so the "before"
+        # scrape may not carry the series yet.
+        assert (
+            after["repro_service_job_seconds_count"][()]
+            - before.get("repro_service_job_seconds_count", {}).get((), 0.0)
+        ) == 1.0
+        # Engine series moved too: the job executed real tasks.
+        executed = (("status", "executed"),)
+        assert (
+            after["repro_engine_tasks_total"][executed]
+            - before.get("repro_engine_tasks_total", {}).get(executed, 0.0)
+        ) > 0
+
+        # Per-job observability rides along in the job payloads.
+        assert job_status["trace_id"]
+        assert result["engine"]["trace_id"] == job_status["trace_id"]
+        assert "routing_cache" in result["engine"]
+        assert "result_cache" in result["engine"]
