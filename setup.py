@@ -19,7 +19,10 @@ setup(
     package_dir={"": "src"},
     python_requires=">=3.10",
     install_requires=[
-        "numpy",
+        # Floor = the version CI's oldest-numpy leg pins: the sample bank
+        # relies on Generator.normal == sigma * standard_normal bitwise
+        # and on bit-generator state round-trips, both verified there.
+        "numpy>=1.24",
         "scipy",
         "networkx",
     ],

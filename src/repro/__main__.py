@@ -105,6 +105,7 @@ from repro.circuits.benchmarks import BENCHMARK_NAMES
 from repro.compiler.pipeline import ROUTING_STRATEGIES
 from repro.compiler.routing import routing_cache_stats
 from repro.core.architecture import ARCHITECTURES
+from repro.core.sample_bank import SAMPLE_BANK_ENV, sample_bank_stats
 from repro.engine import BACKENDS, ExecutionEngine, ResultCache, did_you_mean
 from repro.obs import configure_logging
 from repro.obs import tracing as obs_tracing
@@ -147,6 +148,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache",
+    )
+    run.add_argument(
+        "--no-sample-bank",
+        action="store_true",
+        help="disable the common-random-number fabrication sample bank "
+        "(sets $REPRO_SAMPLE_BANK=0 so worker processes inherit it)",
     )
     run.add_argument(
         "--batch",
@@ -309,6 +316,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the on-disk result cache",
     )
+    serve.add_argument(
+        "--no-sample-bank",
+        action="store_true",
+        help="disable the common-random-number fabrication sample bank "
+        "for every job (sets $REPRO_SAMPLE_BANK=0)",
+    )
     _add_logging_flags(serve)
     return parser
 
@@ -378,6 +391,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+
+    if args.no_sample_bank:
+        # The env var (not a process-local flag) so spawned engine worker
+        # processes inherit the opt-out.
+        os.environ[SAMPLE_BANK_ENV] = "0"
 
     if args.backend is not None and args.backend not in BACKENDS:
         known = ", ".join(BACKENDS.names())
@@ -554,6 +572,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "seconds_by_family": jsonable(dict(engine.stats.seconds_by_family)),
                 "seconds_by_phase": jsonable(dict(engine.stats.seconds_by_phase)),
                 "routing_cache": routing_cache_stats(),
+                "sample_bank": sample_bank_stats(),
                 "result_cache": (
                     engine.cache.stats() if engine.cache is not None else None
                 ),
@@ -608,6 +627,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid retry options: {exc}", file=sys.stderr)
         return 2
+    if args.no_sample_bank:
+        os.environ[SAMPLE_BANK_ENV] = "0"
     limiter = (
         RateLimiter(rate=args.rate, burst=args.burst)
         if args.rate is not None

@@ -25,6 +25,7 @@ def grid_sweep(
     seed: int | None = None,
     executor=None,
     name: str = "grid_sweep",
+    share_draws: Sequence[str] = (),
 ) -> list[dict]:
     """Run ``runner`` for every combination of the parameter grid.
 
@@ -43,6 +44,14 @@ def grid_sweep(
         (module-level) for the process-pool backend.
     name:
         Task-family label for instrumentation and caching.
+    share_draws:
+        Grid dimensions excluded from seed derivation: combinations that
+        differ only along these dimensions receive the *same* child seed,
+        so a seeded Monte-Carlo runner compares them on identical draws
+        (common random numbers) — and, for fabrication runners, the
+        sample bank (:mod:`repro.core.sample_bank`) turns the repeats
+        into cache hits.  The empty default derives one seed per
+        combination, exactly the historical behavior.
 
     Returns
     -------
@@ -56,8 +65,27 @@ def grid_sweep(
             "'seed' cannot be both a grid dimension and a derived master "
             "seed; drop one of the two"
         )
+    unknown = [dim for dim in share_draws if dim not in names]
+    if unknown:
+        raise ValueError(
+            f"share_draws names {unknown!r} that are not grid dimensions "
+            f"(grid has {names!r})"
+        )
     combos = list(product(*(parameter_grid[name] for name in names)))
-    seeds = _child_seeds(seed, len(combos))
+    if share_draws:
+        # Seed identity = the combination restricted to the non-shared
+        # dimensions, numbered in first-appearance order so the mapping
+        # is independent of which dimensions are shared.
+        keep = [name for name in names if name not in share_draws]
+        reduced_index: dict[tuple, int] = {}
+        reduced_of = []
+        for values in combos:
+            key = tuple(v for n, v in zip(names, values) if n in keep)
+            reduced_of.append(reduced_index.setdefault(key, len(reduced_index)))
+        base_seeds = _child_seeds(seed, len(reduced_index))
+        seeds = [base_seeds[index] for index in reduced_of]
+    else:
+        seeds = _child_seeds(seed, len(combos))
     kwargs_list = []
     for values, child_seed in zip(combos, seeds):
         kwargs = dict(zip(names, values))
@@ -80,16 +108,24 @@ def sweep_parameter(
     seed: int | None = None,
     executor=None,
     name: str = "sweep_parameter",
+    share_draws: bool = False,
 ) -> list[tuple[object, object]]:
     """One-dimensional sweep returning ``(value, result)`` pairs.
 
     With a ``seed``, the runner is called as ``runner(value, seed=child)``;
     with an ``executor`` the points run through the engine (the value is
     passed under the runner's first parameter name, so any one-argument
-    module-level runner works unchanged).
+    module-level runner works unchanged).  ``share_draws=True`` hands
+    every value the *same* derived child seed — the swept parameter is
+    the shared-draw axis, so a Monte-Carlo runner compares all values on
+    identical draws and the sample bank collapses the repeats into one
+    sampling pass.
     """
     values = list(values)
-    seeds = _child_seeds(seed, len(values))
+    if share_draws:
+        seeds = [_child_seeds(seed, 1)[0]] * len(values)
+    else:
+        seeds = _child_seeds(seed, len(values))
     if executor is None:
         if seed is None:
             return [(value, runner(value)) for value in values]

@@ -281,6 +281,7 @@ def simulate_yield(
     confidence: float = DEFAULT_CONFIDENCE,
     ci_method: str = "wilson",
     tuning: TuningOptions | None = None,
+    draw_seed=None,
 ) -> YieldResult:
     """Monte-Carlo collision-free yield for one topology.
 
@@ -302,9 +303,16 @@ def simulate_yield(
         Optional post-fabrication repair stage; collided devices are
         repaired (continuing ``rng``) before yield is counted, and the
         result is a :class:`RepairedYieldResult`.
+    draw_seed:
+        Optional sample-bank key: the exact seed ``rng`` was freshly
+        constructed from (see :mod:`repro.core.sample_bank`).  Banked
+        hits restore the post-sampling generator state, so the repair
+        stream continuing ``rng`` stays bit-identical.
     """
     rng = rng or np.random.default_rng()
-    frequencies = fabrication.sample_batch(allocation, batch_size, rng)
+    frequencies = fabrication.sample_batch(
+        allocation, batch_size, rng, draw_seed=draw_seed
+    )
     if tuning is not None:
         outcome = repair_batch(allocation, frequencies, tuning, rng, thresholds)
         return RepairedYieldResult(
@@ -337,6 +345,7 @@ def simulate_yield_with_devices(
     batch_size: int = DEFAULT_BATCH_SIZE,
     rng: np.random.Generator | None = None,
     thresholds: CollisionThresholds | None = None,
+    draw_seed=None,
 ) -> tuple[YieldResult, np.ndarray]:
     """Like :func:`simulate_yield` but also return the surviving devices.
 
@@ -349,7 +358,9 @@ def simulate_yield_with_devices(
         known-good-die binning and MCM assembly.
     """
     rng = rng or np.random.default_rng()
-    frequencies = fabrication.sample_batch(allocation, batch_size, rng)
+    frequencies = fabrication.sample_batch(
+        allocation, batch_size, rng, draw_seed=draw_seed
+    )
     mask = collision_free_mask(allocation, frequencies, thresholds)
     result = YieldResult(
         num_qubits=allocation.num_qubits,
@@ -371,9 +382,16 @@ def _chunk_frequencies(
     seed: int | None,
     chunk_index: int,
 ) -> np.ndarray:
-    """Fabricate one spawn-seeded chunk of ``length`` devices."""
-    rng = np.random.default_rng(chunk_seed(seed, chunk_index))
-    return fabrication.sample_batch(allocation, length, rng)
+    """Fabricate one spawn-seeded chunk of ``length`` devices.
+
+    The chunk's derived seed doubles as the sample-bank draw key, so the
+    in-process streaming path and the engine chunk tasks share banked
+    base draws with every other sigma/step revisiting the same
+    ``(seed, chunk_index, num_qubits, length)`` identity.
+    """
+    derived = chunk_seed(seed, chunk_index)
+    rng = np.random.default_rng(derived)
+    return fabrication.sample_batch(allocation, length, rng, draw_seed=derived)
 
 
 def _chunk_counts(
@@ -393,8 +411,9 @@ def _chunk_counts(
     are bit-identical to the untuned chunk and the repair shots are a
     pure function of the chunk seed — whichever process runs the chunk.
     """
-    rng = np.random.default_rng(chunk_seed(seed, chunk_index))
-    frequencies = fabrication.sample_batch(allocation, length, rng)
+    derived = chunk_seed(seed, chunk_index)
+    rng = np.random.default_rng(derived)
+    frequencies = fabrication.sample_batch(allocation, length, rng, draw_seed=derived)
     if tuning is None:
         mask = collision_free_mask(allocation, frequencies, thresholds)
         return int(mask.sum()), length, 0, 0, 0
@@ -455,17 +474,21 @@ def materialize_seeded_batch(
 ) -> np.ndarray:
     """The *monolithic* reference batch of the chunked sampling scheme.
 
-    Concatenates every spawn-seeded chunk into one
-    ``(batch_size, num_qubits)`` array — O(batch) memory, exactly what
+    Fills every spawn-seeded chunk into one preallocated
+    ``(batch_size, num_qubits)`` array — O(batch) memory (a chunk list +
+    ``np.concatenate`` would briefly hold 2x that), exactly what
     :func:`simulate_yield_streaming` reduces chunk by chunk.  The parity
     tests pin the streamed, adaptive and chunk-parallel estimators to
     this array bit for bit.
     """
-    chunks = [
-        _chunk_frequencies(allocation, fabrication, length, seed, index)
-        for index, length in enumerate(chunk_layout(batch_size, chunk_size))
-    ]
-    return np.concatenate(chunks, axis=0)
+    out = np.empty((batch_size, allocation.num_qubits), dtype=np.float64)
+    start = 0
+    for index, length in enumerate(chunk_layout(batch_size, chunk_size)):
+        out[start : start + length] = _chunk_frequencies(
+            allocation, fabrication, length, seed, index
+        )
+        start += length
+    return out
 
 
 def simulate_yield_streaming(
@@ -596,7 +619,7 @@ def simulate_yield_chunk(
     allocation = arch.allocate(lattice, spec=arch.spec(step_ghz=step_ghz))
     fabrication = FabricationModel(sigma_ghz=sigma_ghz)
     rng = np.random.default_rng(seed)
-    frequencies = fabrication.sample_batch(allocation, chunk_length, rng)
+    frequencies = fabrication.sample_batch(allocation, chunk_length, rng, draw_seed=seed)
     if tuning is None:
         mask = collision_free_mask(allocation, frequencies, thresholds)
         return int(mask.sum()), chunk_length
@@ -751,6 +774,7 @@ def simulate_yield_point(
         confidence=confidence,
         ci_method=ci_method,
         tuning=tuning,
+        draw_seed=seed,
     )
 
 
@@ -887,6 +911,7 @@ def detuning_sweep(
     stats: StatsOptions | None = None,
     topology: str | None = None,
     tuning: TuningOptions | None = None,
+    share_draws: bool = False,
 ) -> dict[tuple[float, float], YieldCurve]:
     """The full Fig. 4 grid: one yield curve per (step, sigma) combination.
 
@@ -900,6 +925,15 @@ def detuning_sweep(
     :func:`yield_vs_qubits` call at the curve's *derived* seed, not at the
     master seed.)
 
+    ``share_draws=True`` declares (step, sigma) as the shared-draw axis:
+    every combination reuses ONE derived curve seed, so all curves
+    fabricate the *same* virtual devices per size — the classic
+    common-random-number design (adjacent sweep points compare identical
+    noise instead of resampled noise), and the sample bank turns the
+    whole grid into one sampling pass per size plus cheap affine
+    re-scalings.  The default resamples per combination, preserving the
+    historical seed derivation (and the committed goldens) exactly.
+
     Returns
     -------
     dict
@@ -907,7 +941,10 @@ def detuning_sweep(
     """
     arch = get_architecture(topology)
     combos = [(step, sigma) for step in steps_ghz for sigma in sigmas_ghz]
-    curve_seeds = _point_seeds(seed, len(combos))
+    if share_draws:
+        curve_seeds = [_point_seeds(seed, 1)[0]] * len(combos)
+    else:
+        curve_seeds = _point_seeds(seed, len(combos))
     stats_kwargs = _stats_point_kwargs(stats)
     topo_kwargs = _topology_kwargs(topology)
     tuning_kwargs = _tuning_kwargs(tuning)

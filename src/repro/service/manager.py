@@ -39,6 +39,7 @@ from functools import partial
 from typing import Any, AsyncIterator, Callable
 
 from repro.compiler.routing import routing_cache_stats
+from repro.core.sample_bank import sample_bank_stats
 from repro.engine.cache import ResultCache, code_version_token
 from repro.engine.runner import ExecutionEngine
 from repro.obs.logs import get_logger
@@ -404,16 +405,17 @@ class JobManager:
         routing_base: dict[str, Any] | None = None,
         cache_base: dict[str, int] | None = None,
         trace_id: str | None = None,
+        bank_base: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Per-job engine stats plus the cache traffic the job caused.
 
-        The routing cache and the result cache are shared process-wide
-        (that sharing is the point), so their counters are cumulative;
-        the baselines captured at job start turn them into per-job
-        deltas.  Concurrent jobs overlap in those deltas — they measure
-        what happened *during* the job, which for capacity questions is
-        the honest number.  Occupancy fields (``entries``,
-        ``sources_computed``) stay absolute.
+        The routing cache, the sample bank and the result cache are
+        shared process-wide (that sharing is the point), so their
+        counters are cumulative; the baselines captured at job start
+        turn them into per-job deltas.  Concurrent jobs overlap in those
+        deltas — they measure what happened *during* the job, which for
+        capacity questions is the honest number.  Occupancy fields
+        (``entries``, ``sources_computed``, ``bytes``) stay absolute.
         """
         stats = engine.stats
         snapshot = {
@@ -436,6 +438,16 @@ class JobManager:
             )
             for key, value in routing_now.items()
         }
+        bank_now = sample_bank_stats()
+        bank_delta_keys = ("hits", "misses", "evictions", "bypasses", "oversize")
+        snapshot["sample_bank"] = {
+            key: (
+                value - bank_base.get(key, 0)
+                if bank_base is not None and key in bank_delta_keys
+                else value
+            )
+            for key, value in bank_now.items()
+        }
         if self._cache is not None:
             cache_now = self._cache.stats()
             snapshot["result_cache"] = {
@@ -455,6 +467,7 @@ class JobManager:
         # now so the job's snapshot reports its own delta (satellite of
         # the unified observability work — see _engine_snapshot).
         routing_base = routing_cache_stats()
+        bank_base = sample_bank_stats()
         cache_base = self._cache.stats() if self._cache is not None else None
         attempt = 0
         while True:
@@ -472,14 +485,22 @@ class JobManager:
                 # mark the job and let the cancellation propagate.
                 job.cancel.cancel()
                 job.engine_stats = self._engine_snapshot(
-                    engine, routing_base, cache_base, trace_id=job.trace_id
+                    engine,
+                    routing_base,
+                    cache_base,
+                    trace_id=job.trace_id,
+                    bank_base=bank_base,
                 )
                 self._finish(job, JobState.CANCELLED)
                 raise
             except BaseException as exc:  # noqa: BLE001 - classified below
                 rule = self.classifier.classify(exc)
                 job.engine_stats = self._engine_snapshot(
-                    engine, routing_base, cache_base, trace_id=job.trace_id
+                    engine,
+                    routing_base,
+                    cache_base,
+                    trace_id=job.trace_id,
+                    bank_base=bank_base,
                 )
                 error = _error_record(exc, rule.name, rule.classification.value, attempt)
                 if (
@@ -522,7 +543,11 @@ class JobManager:
                 job.result = result
                 job.text = text
                 job.engine_stats = self._engine_snapshot(
-                    engine, routing_base, cache_base, trace_id=job.trace_id
+                    engine,
+                    routing_base,
+                    cache_base,
+                    trace_id=job.trace_id,
+                    bank_base=bank_base,
                 )
                 self._finish(job, JobState.SUCCEEDED)
                 return
@@ -678,6 +703,10 @@ class JobManager:
         (see :mod:`repro.engine.phases`) over every job the manager still
         knows about, so ``/stats`` can attribute service time to
         sample/mask/repair/compile/score without walking individual jobs.
+        ``sample_bank`` is the process-wide common-random-number bank
+        (:mod:`repro.core.sample_bank`): lifetime counters plus current
+        occupancy, complementing the per-job deltas each job snapshot
+        carries.
         """
         seconds_by_phase: dict[str, float] = {}
         for job in self._jobs.values():
@@ -692,4 +721,5 @@ class JobManager:
             "queue_used": self._queue.qsize() if self._queue is not None else 0,
             "workers": self.workers,
             "seconds_by_phase": seconds_by_phase,
+            "sample_bank": sample_bank_stats(),
         }
